@@ -1,0 +1,89 @@
+// Command qor-distro regenerates the Figure 1 data: the area/delay QoR
+// distribution of random m-repetition synthesis flows on a design. It
+// prints summary statistics, an ASCII preview, and (optionally) the 2-D
+// histogram as CSV for plotting.
+//
+//	qor-distro -design alu8 -flows 500 -csv alu8.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"flowgen/internal/circuits"
+	"flowgen/internal/exp"
+	"flowgen/internal/flow"
+	"flowgen/internal/lutmap"
+	"flowgen/internal/stats"
+	"flowgen/internal/synth"
+)
+
+func main() {
+	var (
+		designName = flag.String("design", "alu8", "design to synthesize")
+		flows      = flag.Int("flows", 500, "number of unique random flows (paper: 50000)")
+		m          = flag.Int("m", 4, "flow repetitions m")
+		seed       = flag.Int64("seed", 1, "random seed")
+		bins       = flag.Int("bins", 20, "histogram bins per axis")
+		csvPath    = flag.String("csv", "", "write the 2-D histogram CSV here")
+		lutK       = flag.Int("lut", 0, "also report k-LUT mapping QoR of the raw design (0 = off)")
+	)
+	flag.Parse()
+
+	d, err := circuits.ByName(*designName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	design := d.Build()
+	fmt.Printf("design %s: %v\n", *designName, design.Stats())
+	if *lutK > 0 {
+		q, _, err := lutmap.Map(design, *lutK, lutmap.DepthMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("FPGA backend: %d %d-LUTs, depth %d\n", q.LUTs, *lutK, q.Depth)
+	}
+
+	space := flow.NewSpace(flow.DefaultAlphabet, *m)
+	fmt.Printf("flow space: n=%d m=%d L=%d, %v available flows\n",
+		space.N(), space.M, space.Length(), space.Count())
+
+	engine := synth.NewEngine(design, space)
+	rng := rand.New(rand.NewSource(*seed))
+	sample := space.RandomUnique(rng, *flows)
+	done := 0
+	qors, err := engine.EvaluateAll(sample, func(n int) {
+		if n*10/len(sample) != done {
+			done = n * 10 / len(sample)
+			fmt.Printf("  %d0%%\n", done)
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	areas := exp.Metrics(qors, synth.MetricArea)
+	delays := exp.Metrics(qors, synth.MetricDelay)
+	sa, sd := stats.Summarize(areas), stats.Summarize(delays)
+	fmt.Printf("\narea:  min %.1f  mean %.1f  max %.1f µm²  (spread %.1f%%)\n",
+		sa.Min, sa.Mean, sa.Max, stats.SpreadPercent(areas))
+	fmt.Printf("delay: min %.1f  mean %.1f  max %.1f ps   (spread %.1f%%)\n",
+		sd.Min, sd.Mean, sd.Max, stats.SpreadPercent(delays))
+	fmt.Printf("area-delay correlation: %.3f\n", stats.Pearson(areas, delays))
+
+	h := stats.NewHist2D(areas, delays, *bins, *bins/2)
+	fmt.Printf("\n2-D QoR distribution (x: area, y: delay):\n%s", h.ASCII())
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(h.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("histogram written to %s\n", *csvPath)
+	}
+}

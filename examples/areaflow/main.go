@@ -1,0 +1,80 @@
+// Area-driven flow development for the Montgomery modular multiplier —
+// the paper's first benchmark design. Demonstrates the incremental
+// training protocol (first model at N flows, retrain every K) and
+// compares the generated angel-flows against random flows on ground
+// truth, the comparison behind Figure 8 (a).
+//
+//	go run ./examples/areaflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"flowgen"
+	"flowgen/internal/stats"
+)
+
+func main() {
+	design := flowgen.BuildDesign("mont8")
+	space := flowgen.NewFlowSpace(flowgen.DefaultAlphabet, 2)
+	fmt.Printf("design: %v — flow space holds %v flows\n", design.Stats(), space.Count())
+
+	cfg := flowgen.DefaultConfig(space)
+	cfg.Metrics = []flowgen.Metric{flowgen.MetricArea}
+	cfg.TrainFlows = 150
+	cfg.InitialLabeled = 75
+	cfg.RetrainEvery = 25
+	cfg.StepsPerRound = 250
+	cfg.SampleFlows = 250
+	cfg.NumOut = 10
+
+	engine := flowgen.NewEngine(design, space)
+	fw, err := flowgen.NewFramework(cfg, engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.Run(func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Training history: the class determinators moved as data grew.
+	fmt.Println("\nincremental rounds:")
+	for _, r := range res.Rounds {
+		fmt.Printf("  %4d labeled | loss %.3f | train acc %.2f | collect %v\n",
+			r.Labeled, r.Loss, r.TrainAcc, r.Collect.Round(1e7))
+	}
+
+	// Ground truth: angel flows vs a random baseline of the same size.
+	evalFlows := func(fs []flowgen.ScoredFlow) []float64 {
+		out := make([]float64, 0, len(fs))
+		for _, f := range fs {
+			q, err := engine.Evaluate(f.Flow)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, q.Area)
+		}
+		return out
+	}
+	angelAreas := evalFlows(res.Angels)
+	devilAreas := evalFlows(res.Devils)
+
+	rng := rand.New(rand.NewSource(99))
+	var randomAreas []float64
+	for i := 0; i < cfg.NumOut; i++ {
+		q, err := engine.Evaluate(space.Random(rng))
+		if err != nil {
+			log.Fatal(err)
+		}
+		randomAreas = append(randomAreas, q.Area)
+	}
+
+	fmt.Printf("\nmean area: angel %.1f | random %.1f | devil %.1f µm²\n",
+		stats.Summarize(angelAreas).Mean,
+		stats.Summarize(randomAreas).Mean,
+		stats.Summarize(devilAreas).Mean)
+	fmt.Println("(angel < random < devil reproduces the Figure 8 separation)")
+}

@@ -1,0 +1,60 @@
+// Quickstart: develop synthesis flows for a small ALU in under a minute.
+//
+//	go run ./examples/quickstart
+//
+// The framework labels random flows by post-mapping area, trains a CNN
+// classifier on their one-hot matrices, and emits the predicted-best
+// (angel) and predicted-worst (devil) flows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowgen"
+)
+
+func main() {
+	// 1. Build a design (any *flowgen.AIG works; see flowgen.Designs()).
+	design := flowgen.BuildDesign("alu8")
+
+	// 2. Define the flow search space: the six ABC-style transformations,
+	//    each used twice per flow (L = 12).
+	space := flowgen.NewFlowSpace(flowgen.DefaultAlphabet, 2)
+
+	// 3. Configure a small run: 120 labeled flows, 200-flow pool.
+	cfg := flowgen.DefaultConfig(space)
+	cfg.TrainFlows = 120
+	cfg.InitialLabeled = 60
+	cfg.RetrainEvery = 30
+	cfg.StepsPerRound = 200
+	cfg.SampleFlows = 200
+	cfg.NumOut = 8
+
+	// 4. Run the autonomous pipeline.
+	engine := flowgen.NewEngine(design, space)
+	fw, err := flowgen.NewFramework(cfg, engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.Run(func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nangel-flows (predicted best area):")
+	for i, f := range res.Angels[:4] {
+		fmt.Printf("  %d. conf=%.2f  %s\n", i+1, f.Confidence, f.Flow.String(space))
+	}
+	fmt.Println("devil-flows (predicted worst area):")
+	for i, f := range res.Devils[:4] {
+		fmt.Printf("  %d. conf=%.2f  %s\n", i+1, f.Confidence, f.Flow.String(space))
+	}
+
+	// 5. Check the predictions against ground truth.
+	a, _ := engine.Evaluate(res.Angels[0].Flow)
+	d, _ := engine.Evaluate(res.Devils[0].Flow)
+	fmt.Printf("\ntop angel: %.1f µm², top devil: %.1f µm²\n", a.Area, d.Area)
+}

@@ -1,0 +1,73 @@
+package flowgen
+
+import (
+	"testing"
+
+	"flowgen/internal/synth"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the README
+// documents, end to end on a small configuration.
+func TestFacadeEndToEnd(t *testing.T) {
+	design := BuildDesign("alu8")
+	if design.Stats().Ands == 0 {
+		t.Fatal("empty design")
+	}
+	space := NewFlowSpace(DefaultAlphabet, 1)
+	engine := NewEngine(design, space)
+
+	cfg := DefaultConfig(space)
+	cfg.TrainFlows = 30
+	cfg.InitialLabeled = 20
+	cfg.RetrainEvery = 10
+	cfg.StepsPerRound = 20
+	cfg.SampleFlows = 40
+	cfg.NumOut = 4
+
+	fw, err := NewFramework(cfg, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Angels) != 4 || len(res.Devils) != 4 {
+		t.Fatalf("selection %d/%d", len(res.Angels), len(res.Devils))
+	}
+	q, err := engine.Evaluate(res.Angels[0].Flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Area <= 0 || q.Delay <= 0 {
+		t.Fatalf("bad QoR %+v", q)
+	}
+}
+
+func TestFacadeConstantsAndRegistry(t *testing.T) {
+	if MetricArea != synth.MetricArea || MetricDelay != synth.MetricDelay {
+		t.Fatal("metric aliases broken")
+	}
+	if len(Designs()) < 8 {
+		t.Fatalf("registry: %v", Designs())
+	}
+	if len(DefaultAlphabet) != 6 {
+		t.Fatalf("alphabet: %v", DefaultAlphabet)
+	}
+	s := PaperSpace()
+	if s.Length() != 24 {
+		t.Fatalf("paper space length %d", s.Length())
+	}
+	if PaperConfig(s).TrainFlows != 10000 {
+		t.Fatal("paper config")
+	}
+}
+
+func TestBuildDesignPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildDesign("warpcore")
+}

@@ -1,0 +1,501 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantsAndTrivialCases(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	if g.And(ConstFalse, a) != ConstFalse {
+		t.Fatal("0 & a != 0")
+	}
+	if g.And(ConstTrue, a) != a {
+		t.Fatal("1 & a != a")
+	}
+	if g.And(a, a) != a {
+		t.Fatal("a & a != a")
+	}
+	if g.And(a, a.Not()) != ConstFalse {
+		t.Fatal("a & !a != 0")
+	}
+	ab := g.And(a, b)
+	ba := g.And(b, a)
+	if ab != ba {
+		t.Fatal("structural hashing failed: And(a,b) != And(b,a)")
+	}
+	if g.NumNodesRaw() != 4 { // const + 2 inputs + 1 and
+		t.Fatalf("raw nodes = %d, want 4", g.NumNodesRaw())
+	}
+}
+
+func TestOrXorMuxSemantics(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	s := g.AddInput("s")
+	g.AddOutput(g.Or(a, b), "or")
+	g.AddOutput(g.Xor(a, b), "xor")
+	g.AddOutput(g.Mux(s, a, b), "mux")
+	g.AddOutput(g.Maj(a, b, s), "maj")
+	for i := 0; i < 8; i++ {
+		av, bv, sv := i&1 != 0, i&2 != 0, i&4 != 0
+		out := g.EvalUint([]bool{av, bv, sv})
+		if out[0] != (av || bv) {
+			t.Fatalf("or(%v,%v)", av, bv)
+		}
+		if out[1] != (av != bv) {
+			t.Fatalf("xor(%v,%v)", av, bv)
+		}
+		want := bv
+		if sv {
+			want = av
+		}
+		if out[2] != want {
+			t.Fatalf("mux(%v,%v,%v)", sv, av, bv)
+		}
+		maj := (av && bv) || (av && sv) || (bv && sv)
+		if out[3] != maj {
+			t.Fatalf("maj(%v,%v,%v)", av, bv, sv)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	d := g.AddInput("d")
+	// Chain: ((a&b)&c)&d has depth 3; balanced (a&b)&(c&d) depth 2.
+	chain := g.And(g.And(g.And(a, b), c), d)
+	g.AddOutput(chain, "f")
+	if lv := g.RecomputeLevels(); lv != 3 {
+		t.Fatalf("chain depth = %d, want 3", lv)
+	}
+	g2 := New()
+	a, b = g2.AddInput("a"), g2.AddInput("b")
+	c, d = g2.AddInput("c"), g2.AddInput("d")
+	bal := g2.And(g2.And(a, b), g2.And(c, d))
+	g2.AddOutput(bal, "f")
+	if lv := g2.RecomputeLevels(); lv != 2 {
+		t.Fatalf("balanced depth = %d, want 2", lv)
+	}
+}
+
+// buildRandom constructs a random DAG over nin inputs with nand AND nodes.
+func buildRandom(rng *rand.Rand, nin, nand int) *AIG {
+	g := New()
+	lits := make([]Lit, 0, nin+nand)
+	for i := 0; i < nin; i++ {
+		lits = append(lits, g.AddInput("i"))
+	}
+	for i := 0; i < nand; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, g.And(a, b))
+	}
+	// A few outputs from the last nodes to keep most logic live.
+	for i := 0; i < 4 && i < len(lits); i++ {
+		g.AddOutput(lits[len(lits)-1-i].NotIf(i%2 == 0), "o")
+	}
+	g.RecomputeRefs()
+	return g
+}
+
+func TestRecomputeRefsMatchesManualCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := buildRandom(rng, 6, 40)
+	refs := make(map[int]int)
+	g.ForEachLiveAnd(func(id int) {
+		refs[g.Fanin0(id).Node()]++
+		refs[g.Fanin1(id).Node()]++
+	})
+	for i := 0; i < g.NumPOs(); i++ {
+		refs[g.PO(i).Node()]++
+	}
+	g.ForEachLiveAnd(func(id int) {
+		if g.Ref(id) != refs[id] {
+			t.Fatalf("node %d: ref=%d want %d", id, g.Ref(id), refs[id])
+		}
+	})
+}
+
+func TestMFFCSingleOutputCone(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	n1 := g.And(a, b)
+	n2 := g.And(n1, c)
+	g.AddOutput(n2, "f")
+	g.RecomputeRefs()
+	// n1 feeds only n2, so MFFC(n2) = {n2, n1} = 2.
+	if m := g.MFFCSize(n2.Node()); m != 2 {
+		t.Fatalf("MFFC = %d, want 2", m)
+	}
+	// Shared node: n1 also drives an output; MFFC(n2) is then just {n2}.
+	g2 := New()
+	a, b, c = g2.AddInput("a"), g2.AddInput("b"), g2.AddInput("c")
+	n1 = g2.And(a, b)
+	n2 = g2.And(n1, c)
+	g2.AddOutput(n2, "f")
+	g2.AddOutput(n1, "g")
+	g2.RecomputeRefs()
+	if m := g2.MFFCSize(n2.Node()); m != 1 {
+		t.Fatalf("MFFC with shared fanin = %d, want 1", m)
+	}
+}
+
+func TestMFFCNonDestructive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := buildRandom(rng, 8, 100)
+	before := make([]int32, len(g.nodes))
+	for i := range g.nodes {
+		before[i] = g.nodes[i].ref
+	}
+	g.ForEachLiveAnd(func(id int) { _ = g.MFFCSize(id) })
+	for i := range g.nodes {
+		if g.nodes[i].ref != before[i] {
+			t.Fatalf("node %d ref changed: %d -> %d", i, before[i], g.nodes[i].ref)
+		}
+	}
+}
+
+func TestSpeculateCommitPreservesFunction(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	// f = (a&b) & (a&c): replace with equivalent a & (b&c).
+	n1 := g.And(a, b)
+	n2 := g.And(a, c)
+	root := g.And(n1, n2)
+	g.AddOutput(root, "f")
+	g.RecomputeRefs()
+	sigBefore := g.SimSignature(1, 4)
+
+	freed := g.BeginSpeculate(root.Node())
+	if freed != 3 {
+		t.Fatalf("freed = %d, want 3", freed)
+	}
+	cand := g.And(a, g.And(b, c))
+	created := g.SpeculativeCreated()
+	if created != 2 {
+		t.Fatalf("created = %d, want 2", created)
+	}
+	g.CommitSpeculate(root.Node(), cand)
+	sigAfter := g.SimSignature(1, 4)
+	if !SigEqual(sigBefore, sigAfter) {
+		t.Fatal("function changed after commit")
+	}
+	clean := g.Cleanup()
+	if clean.NumAnds() != 2 {
+		t.Fatalf("after commit NumAnds = %d, want 2", clean.NumAnds())
+	}
+}
+
+func TestSpeculateAbortRestoresState(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := buildRandom(rng, 6, 60)
+	sig := g.SimSignature(5, 4)
+	rawBefore := g.NumNodesRaw()
+	refsBefore := make([]int32, len(g.nodes))
+	for i := range g.nodes {
+		refsBefore[i] = g.nodes[i].ref
+	}
+	// Pick a live AND node with decent MFFC and abort a speculation on it.
+	var root int
+	g.ForEachLiveAnd(func(id int) {
+		if g.Ref(id) > 0 {
+			root = id
+		}
+	})
+	g.BeginSpeculate(root)
+	// Build some junk candidate.
+	x := g.And(g.PI(0), g.PI(1).Not())
+	y := g.And(x, g.PI(2))
+	_ = y
+	g.AbortSpeculate(root)
+	if g.NumNodesRaw() != rawBefore {
+		t.Fatalf("raw nodes %d -> %d after abort", rawBefore, g.NumNodesRaw())
+	}
+	for i := range g.nodes {
+		if g.nodes[i].ref != refsBefore[i] {
+			t.Fatalf("node %d ref %d -> %d after abort", i, refsBefore[i], g.nodes[i].ref)
+		}
+	}
+	if !SigEqual(sig, g.SimSignature(5, 4)) {
+		t.Fatal("function changed after abort")
+	}
+}
+
+func TestCleanupDropsDeadLogic(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	_ = g.And(a, b.Not()) // dead
+	live := g.And(a, b)
+	g.AddOutput(live, "f")
+	clean := g.Cleanup()
+	if clean.NumAnds() != 1 {
+		t.Fatalf("NumAnds = %d, want 1", clean.NumAnds())
+	}
+	if clean.NumPIs() != 2 || clean.NumPOs() != 1 {
+		t.Fatal("interface not preserved")
+	}
+}
+
+func TestCleanupPreservesFunctionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		g := buildRandom(rng, 7, 80)
+		sig := g.SimSignature(int64(trial), 2)
+		c := g.Cleanup()
+		if !SigEqual(sig, c.SimSignature(int64(trial), 2)) {
+			t.Fatalf("trial %d: cleanup changed function", trial)
+		}
+		if c.NumAnds() > g.NumAnds() {
+			t.Fatalf("trial %d: cleanup grew graph", trial)
+		}
+	}
+}
+
+func TestSimulateParallelMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := buildRandom(rng, 5, 50)
+	// 64 random single evaluations must match one 64-bit parallel run.
+	pats := make([][]uint64, g.NumPIs())
+	for i := range pats {
+		pats[i] = []uint64{rng.Uint64()}
+	}
+	par := g.Simulate(pats)
+	for bit := 0; bit < 64; bit++ {
+		in := make([]bool, g.NumPIs())
+		for i := range in {
+			in[i] = pats[i][0]&(1<<uint(bit)) != 0
+		}
+		single := g.EvalUint(in)
+		for o := range single {
+			if single[o] != (par[o][0]&(1<<uint(bit)) != 0) {
+				t.Fatalf("bit %d output %d mismatch", bit, o)
+			}
+		}
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MakeLit(5, false)
+	if l.Node() != 5 || l.IsNeg() {
+		t.Fatal("MakeLit positive")
+	}
+	if !l.Not().IsNeg() || l.Not().Node() != 5 {
+		t.Fatal("Not")
+	}
+	if l.NotIf(false) != l || l.NotIf(true) != l.Not() {
+		t.Fatal("NotIf")
+	}
+}
+
+// Property: And is commutative and associative at the functional level.
+func TestQuickAndCommutative(t *testing.T) {
+	f := func(na, nb bool) bool {
+		g := New()
+		a := g.AddInput("a").NotIf(na)
+		b := g.AddInput("b").NotIf(nb)
+		return g.And(a, b) == g.And(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random graphs survive Cleanup twice with identical stats.
+func TestQuickCleanupIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := buildRandom(rng, 5, 30)
+		c1 := g.Cleanup()
+		c2 := c1.Cleanup()
+		return c1.NumAnds() == c2.NumAnds() && SigEqual(c1.SimSignature(7, 2), c2.SimSignature(7, 2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndStrash(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = buildRandom(rng, 8, 500)
+	}
+}
+
+func BenchmarkSimulate64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := buildRandom(rng, 16, 2000)
+	pats := make([][]uint64, g.NumPIs())
+	for i := range pats {
+		pats[i] = []uint64{rng.Uint64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Simulate(pats)
+	}
+}
+
+// refsMatchGroundTruth verifies incremental ref counts against a fresh
+// recount over live logic.
+func refsMatchGroundTruth(t *testing.T, g *AIG) {
+	t.Helper()
+	want := make(map[int]int)
+	g.ForEachLiveAnd(func(id int) {
+		want[g.Fanin0(id).Node()]++
+		want[g.Fanin1(id).Node()]++
+	})
+	for i := 0; i < g.NumPOs(); i++ {
+		want[g.PO(i).Node()]++
+	}
+	for id := 0; id < g.NumNodesRaw(); id++ {
+		if g.Ref(id) != want[id] {
+			t.Fatalf("node %d: incremental ref=%d, ground truth=%d", id, g.Ref(id), want[id])
+		}
+	}
+}
+
+func TestSpeculateResurrectLeafInsideMFFC(t *testing.T) {
+	// f = ((a&b)&c): use leaf n1=(a&b) (which is inside MFFC of root) in
+	// the candidate. Candidate: (a&b)&c rebuilt as n1&c -> strash returns
+	// root itself; instead build (c & n1) with an extra inverter trick to
+	// force new structure: candidate g = !(!(a&b) | !c) == same function
+	// but synthesized as and(n1, c) -> root again. So use a genuinely
+	// different function shape: replace root by and(n1, and(c, c)) is
+	// still root. Use a 4-node cone instead.
+	g := New()
+	a, b, c, d := g.AddInput("a"), g.AddInput("b"), g.AddInput("c"), g.AddInput("d")
+	n1 := g.And(a, b)
+	n2 := g.And(n1, c)
+	root := g.And(n2, d)
+	g.AddOutput(root, "f")
+	g.RecomputeRefs()
+	// MFFC(root) = {root, n2, n1} = 3.
+	freed := g.BeginSpeculate(root.Node())
+	if freed != 3 {
+		t.Fatalf("freed=%d want 3", freed)
+	}
+	// Candidate reuses dead n1: (n1 & (c&d)) — resurrects n1.
+	cand := g.And(n1, g.And(c, d))
+	g.Touch(cand)
+	gain := g.SpeculationGain(freed)
+	// created=2, resurrected=1 -> gain = 3-2-1 = 0.
+	if gain != 0 {
+		t.Fatalf("gain=%d want 0", gain)
+	}
+	g.CommitSpeculate(root.Node(), cand)
+	refsMatchGroundTruth(t, g)
+	if !SigEqual(g.SimSignature(3, 4), g.Cleanup().SimSignature(3, 4)) {
+		t.Fatal("cleanup changed function")
+	}
+}
+
+func TestSpeculateResurrectAbortRestores(t *testing.T) {
+	g := New()
+	a, b, c, d := g.AddInput("a"), g.AddInput("b"), g.AddInput("c"), g.AddInput("d")
+	n1 := g.And(a, b)
+	n2 := g.And(n1, c)
+	root := g.And(n2, d)
+	g.AddOutput(root, "f")
+	g.RecomputeRefs()
+	sig := g.SimSignature(9, 4)
+	raw := g.NumNodesRaw()
+	freed := g.BeginSpeculate(root.Node())
+	cand := g.And(n1, g.And(c, d))
+	g.Touch(cand)
+	_ = g.SpeculationGain(freed)
+	g.AbortSpeculate(root.Node())
+	if g.NumNodesRaw() != raw {
+		t.Fatalf("raw %d -> %d", raw, g.NumNodesRaw())
+	}
+	refsMatchGroundTruth(t, g)
+	if !SigEqual(sig, g.SimSignature(9, 4)) {
+		t.Fatal("function changed after abort")
+	}
+}
+
+func TestSpeculateTouchOnlyDeadNodeAbort(t *testing.T) {
+	// Candidate output IS the dead leaf itself (cone collapses to n1):
+	// Touch must resurrect, abort must fully restore.
+	g := New()
+	a, b, c := g.AddInput("a"), g.AddInput("b"), g.AddInput("c")
+	n1 := g.And(a, b)
+	root := g.And(n1, c)
+	g.AddOutput(root, "f")
+	g.RecomputeRefs()
+	freed := g.BeginSpeculate(root.Node())
+	if freed != 2 {
+		t.Fatalf("freed=%d want 2", freed)
+	}
+	g.Touch(n1)                                      // candidate: just n1
+	if gain := g.SpeculationGain(freed); gain != 1 { // 2 freed - 0 created - 1 resurrected
+		t.Fatalf("gain=%d want 1", gain)
+	}
+	g.AbortSpeculate(root.Node())
+	refsMatchGroundTruth(t, g)
+
+	// Same again, but commit this time.
+	freed = g.BeginSpeculate(root.Node())
+	g.Touch(n1)
+	g.CommitSpeculate(root.Node(), n1)
+	refsMatchGroundTruth(t, g)
+	if g.Cleanup().NumAnds() != 1 {
+		t.Fatalf("want 1 AND after committing collapse, got %d", g.Cleanup().NumAnds())
+	}
+}
+
+// TestSpeculationFuzz hammers the speculate/abort path with random
+// candidates (including ones that resurrect dead nodes) and verifies
+// that reference counts and function are fully restored every time.
+func TestSpeculationFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 30; trial++ {
+		g := buildRandom(rng, 6, 80)
+		sig := g.SimSignature(1, 4)
+		live := g.LiveAnds()
+		for round := 0; round < 20; round++ {
+			root := live[rng.Intn(len(live))]
+			if !g.IsAnd(root) || g.Ref(root) == 0 {
+				continue
+			}
+			if MakeLit(root, false) != g.Resolve(MakeLit(root, false)) {
+				continue
+			}
+			g.BeginSpeculate(root)
+			// Build a random candidate over the root's transitive fanin.
+			tfi := g.TFISorted(root)
+			pick := func() Lit {
+				for tries := 0; tries < 10; tries++ {
+					n := tfi[rng.Intn(len(tfi))]
+					if n != root {
+						return MakeLit(n, rng.Intn(2) == 1)
+					}
+				}
+				return g.PI(0)
+			}
+			cand := pick()
+			for d := 0; d < rng.Intn(4); d++ {
+				cand = g.And(cand, pick())
+			}
+			g.Touch(cand)
+			g.AbortSpeculate(root)
+			refsMatchGroundTruth(t, g)
+		}
+		if !SigEqual(sig, g.SimSignature(1, 4)) {
+			t.Fatalf("trial %d: function changed by abort-only fuzzing", trial)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package analysis extracts structure from generated flow sets — the
+// footnote-1 use case of the paper ("devil-flows could provide
+// information for improving the synthesis transformations"): positional
+// usage statistics, pairwise precedence tendencies, and contrastive
+// comparison between angel and devil populations.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"flowgen/internal/flow"
+)
+
+// PositionProfile counts, for each transformation, how often it occurs
+// in each flow position. Rows: transformation index; columns: position.
+type PositionProfile struct {
+	Space  flow.Space
+	Counts [][]int // [transformation][position]
+	Total  int
+}
+
+// Positions computes the positional profile of a flow set.
+func Positions(space flow.Space, flows []flow.Flow) *PositionProfile {
+	p := &PositionProfile{Space: space, Total: len(flows)}
+	p.Counts = make([][]int, space.N())
+	for t := range p.Counts {
+		p.Counts[t] = make([]int, space.Length())
+	}
+	for _, f := range flows {
+		for pos, t := range f.Indices {
+			p.Counts[t][pos]++
+		}
+	}
+	return p
+}
+
+// MeanPosition returns the average position (0-based) of transformation t
+// across the set; lower means "run earlier".
+func (p *PositionProfile) MeanPosition(t int) float64 {
+	sum, n := 0.0, 0
+	for pos, c := range p.Counts[t] {
+		sum += float64(pos) * float64(c)
+		n += c
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// String renders mean positions sorted earliest-first.
+func (p *PositionProfile) String() string {
+	type row struct {
+		name string
+		mean float64
+	}
+	rows := make([]row, p.Space.N())
+	for t := range rows {
+		rows[t] = row{p.Space.Alphabet[t], p.MeanPosition(t)}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mean < rows[j].mean })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s mean position %.2f\n", r.name, r.mean)
+	}
+	return b.String()
+}
+
+// Precedence returns an n×n matrix M where M[a][b] is the fraction of
+// (a,b) occurrence pairs in which a ran before b, across the flow set.
+// Values far from 0.5 indicate a strong ordering tendency.
+func Precedence(space flow.Space, flows []flow.Flow) [][]float64 {
+	n := space.N()
+	before := make([][]int, n)
+	total := make([][]int, n)
+	for i := range before {
+		before[i] = make([]int, n)
+		total[i] = make([]int, n)
+	}
+	for _, f := range flows {
+		for i, a := range f.Indices {
+			for j, b := range f.Indices {
+				if i == j || a == b {
+					continue
+				}
+				total[a][b]++
+				if i < j {
+					before[a][b]++
+				}
+			}
+		}
+	}
+	out := make([][]float64, n)
+	for a := range out {
+		out[a] = make([]float64, n)
+		for b := range out[a] {
+			if total[a][b] > 0 {
+				out[a][b] = float64(before[a][b]) / float64(total[a][b])
+			} else {
+				out[a][b] = 0.5
+			}
+		}
+	}
+	return out
+}
+
+// ContrastItem is a transformation's positional difference between two
+// flow populations.
+type ContrastItem struct {
+	Name    string
+	MeanInA float64
+	MeanInB float64
+	Shift   float64 // MeanInB - MeanInA
+}
+
+// Contrast compares where each transformation tends to sit in set A
+// (e.g. angel flows) versus set B (devil flows), sorted by the magnitude
+// of the shift. Large positive shift means the transformation runs much
+// later in B than in A.
+func Contrast(space flow.Space, a, b []flow.Flow) []ContrastItem {
+	pa, pb := Positions(space, a), Positions(space, b)
+	items := make([]ContrastItem, space.N())
+	for t := 0; t < space.N(); t++ {
+		ma, mb := pa.MeanPosition(t), pb.MeanPosition(t)
+		items[t] = ContrastItem{Name: space.Alphabet[t], MeanInA: ma, MeanInB: mb, Shift: mb - ma}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		return math.Abs(items[i].Shift) > math.Abs(items[j].Shift)
+	})
+	return items
+}
+
+// PrefixSignature returns the k most common length-p prefixes of the flow
+// set with their counts — the "how do good flows start" view.
+func PrefixSignature(space flow.Space, flows []flow.Flow, p, k int) []string {
+	counts := map[string]int{}
+	for _, f := range flows {
+		if len(f.Indices) < p {
+			continue
+		}
+		names := f.Names(space)[:p]
+		counts[strings.Join(names, "; ")]++
+	}
+	type kv struct {
+		s string
+		n int
+	}
+	var all []kv
+	for s, n := range counts {
+		all = append(all, kv{s, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].s < all[j].s
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = fmt.Sprintf("%dx %s", e.n, e.s)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowgen/internal/flow"
+)
+
+func space2() flow.Space { return flow.NewSpace([]string{"a", "b"}, 2) }
+
+func TestPositionsAndMean(t *testing.T) {
+	s := space2()
+	flows := []flow.Flow{
+		{Indices: []int{0, 0, 1, 1}}, // a early
+		{Indices: []int{0, 1, 0, 1}},
+	}
+	p := Positions(s, flows)
+	if p.Total != 2 {
+		t.Fatal("total")
+	}
+	// a occupies positions {0,1} and {0,2}: mean = (0+1+0+2)/4 = 0.75.
+	if got := p.MeanPosition(0); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("mean(a) = %v", got)
+	}
+	// b occupies {2,3} and {1,3}: mean = 2.25.
+	if got := p.MeanPosition(1); math.Abs(got-2.25) > 1e-12 {
+		t.Fatalf("mean(b) = %v", got)
+	}
+	str := p.String()
+	if !strings.Contains(str, "a") || strings.Index(str, "a") > strings.Index(str, "b") {
+		t.Fatalf("ordering in %q", str)
+	}
+}
+
+func TestPrecedenceExtremes(t *testing.T) {
+	s := space2()
+	// a always strictly before b.
+	flows := []flow.Flow{
+		{Indices: []int{0, 0, 1, 1}},
+		{Indices: []int{0, 0, 1, 1}},
+	}
+	m := Precedence(s, flows)
+	if m[0][1] != 1 || m[1][0] != 0 {
+		t.Fatalf("precedence matrix %v", m)
+	}
+	// Balanced orderings land at 0.5.
+	flows = []flow.Flow{
+		{Indices: []int{0, 1, 0, 1}},
+		{Indices: []int{1, 0, 1, 0}},
+	}
+	m = Precedence(s, flows)
+	if math.Abs(m[0][1]-0.5) > 1e-12 {
+		t.Fatalf("balanced precedence %v", m[0][1])
+	}
+}
+
+func TestContrastOrdersByShift(t *testing.T) {
+	s := space2()
+	angels := []flow.Flow{{Indices: []int{0, 0, 1, 1}}} // a first
+	devils := []flow.Flow{{Indices: []int{1, 1, 0, 0}}} // a last
+	items := Contrast(s, angels, devils)
+	if items[0].Name != "a" && items[0].Name != "b" {
+		t.Fatal("bad item")
+	}
+	// a shifts from mean 0.5 to 2.5 (+2), b the reverse (-2).
+	for _, it := range items {
+		if it.Name == "a" && math.Abs(it.Shift-2) > 1e-12 {
+			t.Fatalf("a shift %v", it.Shift)
+		}
+		if it.Name == "b" && math.Abs(it.Shift+2) > 1e-12 {
+			t.Fatalf("b shift %v", it.Shift)
+		}
+	}
+}
+
+func TestPrefixSignature(t *testing.T) {
+	s := space2()
+	flows := []flow.Flow{
+		{Indices: []int{0, 1, 0, 1}},
+		{Indices: []int{0, 1, 1, 0}},
+		{Indices: []int{1, 0, 0, 1}},
+	}
+	sig := PrefixSignature(s, flows, 2, 2)
+	if len(sig) != 2 {
+		t.Fatalf("got %v", sig)
+	}
+	if sig[0] != "2x a; b" {
+		t.Fatalf("top prefix %q", sig[0])
+	}
+}
+
+func TestRandomFlowsNearNeutral(t *testing.T) {
+	// Uniform random flows must show no strong precedence tendencies.
+	s := flow.PaperSpace()
+	rng := rand.New(rand.NewSource(1))
+	flows := make([]flow.Flow, 500)
+	for i := range flows {
+		flows[i] = s.Random(rng)
+	}
+	m := Precedence(s, flows)
+	for a := 0; a < s.N(); a++ {
+		for b := 0; b < s.N(); b++ {
+			if a == b {
+				continue
+			}
+			if math.Abs(m[a][b]-0.5) > 0.06 {
+				t.Fatalf("random flows show precedence bias m[%d][%d]=%v", a, b, m[a][b])
+			}
+		}
+	}
+}

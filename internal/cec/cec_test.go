@@ -1,0 +1,170 @@
+package cec
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowgen/internal/aig"
+	"flowgen/internal/circuits"
+	"flowgen/internal/flow"
+	"flowgen/internal/rewrite"
+)
+
+func TestIdenticalCircuitsEquivalent(t *testing.T) {
+	mk := func() *aig.AIG {
+		g := aig.New()
+		a, b, c := g.AddInput("a"), g.AddInput("b"), g.AddInput("c")
+		g.AddOutput(g.Maj(a, b, c), "m")
+		g.AddOutput(g.Xor(g.Xor(a, b), c), "s")
+		return g
+	}
+	rep, err := Check(mk(), mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Equivalent {
+		t.Fatalf("verdict %v", rep.Verdict)
+	}
+}
+
+func TestStructurallyDifferentButEquivalent(t *testing.T) {
+	// f = a&b | a&c  vs  f = a & (b|c): simulation agrees, SAT must prove.
+	g1 := aig.New()
+	a, b, c := g1.AddInput("a"), g1.AddInput("b"), g1.AddInput("c")
+	g1.AddOutput(g1.Or(g1.And(a, b), g1.And(a, c)), "f")
+
+	g2 := aig.New()
+	a, b, c = g2.AddInput("a"), g2.AddInput("b"), g2.AddInput("c")
+	g2.AddOutput(g2.And(a, g2.Or(b, c)), "f")
+
+	rep, err := Check(g1, g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Equivalent {
+		t.Fatalf("verdict %v", rep.Verdict)
+	}
+}
+
+func TestInequivalentFoundWithCounterexample(t *testing.T) {
+	// AND vs OR differ on (1,0).
+	g1 := aig.New()
+	a, b := g1.AddInput("a"), g1.AddInput("b")
+	g1.AddOutput(g1.And(a, b), "f")
+	g2 := aig.New()
+	a, b = g2.AddInput("a"), g2.AddInput("b")
+	g2.AddOutput(g2.Or(a, b), "f")
+
+	rep, err := Check(g1, g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != NotEquivalent {
+		t.Fatalf("verdict %v", rep.Verdict)
+	}
+	// Replay the counterexample on both circuits: they must differ.
+	o1 := g1.EvalUint(rep.Counterexample)[rep.FailingOutput]
+	o2 := g2.EvalUint(rep.Counterexample)[rep.FailingOutput]
+	if o1 == o2 {
+		t.Fatalf("counterexample %v does not distinguish the circuits", rep.Counterexample)
+	}
+}
+
+func TestSubtleInequivalenceNeedsSAT(t *testing.T) {
+	// Two circuits differing on exactly one minterm of 8 inputs: random
+	// simulation will often miss it; SAT must find it.
+	mk := func(extra bool) *aig.AIG {
+		g := aig.New()
+		in := make([]aig.Lit, 8)
+		for i := range in {
+			in[i] = g.AddInput("x")
+		}
+		// f = parity of inputs.
+		f := in[0]
+		for i := 1; i < 8; i++ {
+			f = g.Xor(f, in[i])
+		}
+		if extra {
+			// Flip f on the single minterm x = 10101010.
+			m := aig.ConstTrue
+			for i := 0; i < 8; i++ {
+				l := in[i]
+				if i%2 == 0 {
+					l = l.Not()
+				}
+				m = g.And(m, l)
+			}
+			f = g.Xor(f, m)
+		}
+		g.AddOutput(f, "f")
+		return g
+	}
+	rep, err := Check(mk(false), mk(true), Options{SimWords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != NotEquivalent {
+		t.Fatalf("verdict %v (SAT must expose the single differing minterm)", rep.Verdict)
+	}
+	o1 := mk(false).EvalUint(rep.Counterexample)[0]
+	o2 := mk(true).EvalUint(rep.Counterexample)[0]
+	if o1 == o2 {
+		t.Fatal("counterexample invalid")
+	}
+}
+
+func TestInterfaceMismatchError(t *testing.T) {
+	g1 := aig.New()
+	g1.AddInput("a")
+	g1.AddOutput(aig.ConstFalse, "f")
+	g2 := aig.New()
+	g2.AddInput("a")
+	g2.AddInput("b")
+	g2.AddOutput(aig.ConstFalse, "f")
+	if _, err := Check(g1, g2, Options{}); err == nil {
+		t.Fatal("expected interface mismatch error")
+	}
+}
+
+// TestFlowsProvenEquivalent is the headline use: every synthesis flow
+// applied to a real design is PROVEN function-preserving by SAT, not
+// just simulated.
+func TestFlowsProvenEquivalent(t *testing.T) {
+	design, err := circuits.ByName("alu8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := flow.NewSpace(flow.DefaultAlphabet, 1)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2; trial++ {
+		f := space.Random(rng)
+		golden := design.Build()
+		optimized, _, err := rewrite.Apply(design.Build(), f.Names(space))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(golden, optimized, Options{MaxConflicts: 500000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Verdict != Equivalent {
+			t.Fatalf("flow %q: %v (output %d)", f.String(space), rep.Verdict, rep.FailingOutput)
+		}
+		t.Logf("flow %q proven equivalent (%d conflicts)", f.String(space), rep.SATConflicts)
+	}
+}
+
+func BenchmarkCECALU8AfterFlow(b *testing.B) {
+	design, _ := circuits.ByName("alu8")
+	space := flow.NewSpace(flow.DefaultAlphabet, 1)
+	f := space.Random(rand.New(rand.NewSource(1)))
+	golden := design.Build()
+	optimized, _, _ := rewrite.Apply(design.Build(), f.Names(space))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Check(golden, optimized, Options{})
+		if err != nil || rep.Verdict != Equivalent {
+			b.Fatalf("%v %v", rep.Verdict, err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package cells defines the synthetic 14nm-class standard-cell library
+// used for technology mapping. It stands in for the commercial 14nm
+// library of the paper: absolute values are normalized but the relative
+// area/delay ordering of cell families (inverters < NANDs < AOIs < XORs)
+// follows typical FinFET libraries, which is what QoR comparisons between
+// synthesis flows are sensitive to.
+package cells
+
+import "flowgen/internal/bitvec"
+
+// Cell is a combinational standard cell with a single output.
+type Cell struct {
+	Name   string
+	Inputs int
+	TT     bitvec.TT // function over Inputs variables
+	Area   float64   // µm²
+	Delay  float64   // worst-case pin-to-pin delay, ps
+}
+
+// Library is an immutable set of cells. Construct with New14nm.
+type Library struct {
+	Cells []Cell
+	inv   int // index of the inverter
+}
+
+// Inv returns the library inverter cell.
+func (l *Library) Inv() Cell { return l.Cells[l.inv] }
+
+// InvIndex returns the index of the inverter cell.
+func (l *Library) InvIndex() int { return l.inv }
+
+// tt builds a truth table over n variables from a minterm evaluator.
+func tt(n int, f func(m int) bool) bitvec.TT {
+	t := bitvec.New(n)
+	for i := 0; i < 1<<n; i++ {
+		if f(i) {
+			t.SetBit(i, true)
+		}
+	}
+	return t
+}
+
+func bit(m, i int) bool { return m&(1<<uint(i)) != 0 }
+
+// New14nm returns the synthetic 14nm-class library.
+func New14nm() *Library {
+	cs := []Cell{
+		{"INV_X1", 1, tt(1, func(m int) bool { return !bit(m, 0) }), 0.255, 6.0},
+		{"NAND2_X1", 2, tt(2, func(m int) bool { return !(bit(m, 0) && bit(m, 1)) }), 0.383, 7.5},
+		{"NAND3_X1", 3, tt(3, func(m int) bool { return !(bit(m, 0) && bit(m, 1) && bit(m, 2)) }), 0.510, 9.5},
+		{"NAND4_X1", 4, tt(4, func(m int) bool { return !(bit(m, 0) && bit(m, 1) && bit(m, 2) && bit(m, 3)) }), 0.638, 12.0},
+		{"NOR2_X1", 2, tt(2, func(m int) bool { return !(bit(m, 0) || bit(m, 1)) }), 0.383, 8.5},
+		{"NOR3_X1", 3, tt(3, func(m int) bool { return !(bit(m, 0) || bit(m, 1) || bit(m, 2)) }), 0.510, 11.5},
+		{"NOR4_X1", 4, tt(4, func(m int) bool { return !(bit(m, 0) || bit(m, 1) || bit(m, 2) || bit(m, 3)) }), 0.638, 14.5},
+		{"AND2_X1", 2, tt(2, func(m int) bool { return bit(m, 0) && bit(m, 1) }), 0.510, 9.0},
+		{"AND3_X1", 3, tt(3, func(m int) bool { return bit(m, 0) && bit(m, 1) && bit(m, 2) }), 0.638, 11.0},
+		{"OR2_X1", 2, tt(2, func(m int) bool { return bit(m, 0) || bit(m, 1) }), 0.510, 10.0},
+		{"OR3_X1", 3, tt(3, func(m int) bool { return bit(m, 0) || bit(m, 1) || bit(m, 2) }), 0.638, 12.0},
+		{"AOI21_X1", 3, tt(3, func(m int) bool { return !((bit(m, 0) && bit(m, 1)) || bit(m, 2)) }), 0.510, 9.0},
+		{"OAI21_X1", 3, tt(3, func(m int) bool { return !((bit(m, 0) || bit(m, 1)) && bit(m, 2)) }), 0.510, 9.5},
+		{"AOI22_X1", 4, tt(4, func(m int) bool { return !((bit(m, 0) && bit(m, 1)) || (bit(m, 2) && bit(m, 3))) }), 0.638, 10.5},
+		{"OAI22_X1", 4, tt(4, func(m int) bool { return !((bit(m, 0) || bit(m, 1)) && (bit(m, 2) || bit(m, 3))) }), 0.638, 11.0},
+		{"XOR2_X1", 2, tt(2, func(m int) bool { return bit(m, 0) != bit(m, 1) }), 0.765, 12.5},
+		{"XNOR2_X1", 2, tt(2, func(m int) bool { return bit(m, 0) == bit(m, 1) }), 0.765, 12.0},
+		{"MUX2_X1", 3, tt(3, func(m int) bool { // s=in2: s? in1 : in0
+			if bit(m, 2) {
+				return bit(m, 1)
+			}
+			return bit(m, 0)
+		}), 0.765, 11.5},
+		{"MAJ3_X1", 3, tt(3, func(m int) bool {
+			n := 0
+			for i := 0; i < 3; i++ {
+				if bit(m, i) {
+					n++
+				}
+			}
+			return n >= 2
+		}), 0.893, 13.0},
+		{"AOI211_X1", 4, tt(4, func(m int) bool { return !((bit(m, 0) && bit(m, 1)) || bit(m, 2) || bit(m, 3)) }), 0.638, 11.5},
+		{"OAI211_X1", 4, tt(4, func(m int) bool { return !((bit(m, 0) || bit(m, 1)) && bit(m, 2) && bit(m, 3)) }), 0.638, 12.0},
+	}
+	lib := &Library{Cells: cs}
+	for i, c := range cs {
+		if c.Name == "INV_X1" {
+			lib.inv = i
+		}
+	}
+	return lib
+}

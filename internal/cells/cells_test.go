@@ -1,0 +1,115 @@
+package cells
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLibraryWellFormed(t *testing.T) {
+	lib := New14nm()
+	if len(lib.Cells) < 15 {
+		t.Fatalf("library too small: %d cells", len(lib.Cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range lib.Cells {
+		if seen[c.Name] {
+			t.Fatalf("duplicate cell %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Inputs < 1 || c.Inputs > 4 {
+			t.Fatalf("%s: %d inputs", c.Name, c.Inputs)
+		}
+		if c.Area <= 0 || c.Delay <= 0 {
+			t.Fatalf("%s: non-positive area/delay", c.Name)
+		}
+		if c.TT.NumVars() != c.Inputs {
+			t.Fatalf("%s: TT over %d vars, %d inputs", c.Name, c.TT.NumVars(), c.Inputs)
+		}
+		if c.TT.IsConst0() || c.TT.IsConst1() {
+			t.Fatalf("%s: constant function", c.Name)
+		}
+		// Every input must matter (matching assumes no degenerate pins).
+		for v := 0; v < c.Inputs; v++ {
+			if !c.TT.DependsOn(v) {
+				t.Fatalf("%s: input %d is don't-care", c.Name, v)
+			}
+		}
+	}
+}
+
+func TestInverterIdentity(t *testing.T) {
+	lib := New14nm()
+	inv := lib.Inv()
+	if inv.Name != "INV_X1" || inv.Inputs != 1 {
+		t.Fatalf("inverter lookup: %+v", inv)
+	}
+	if inv.TT.Bit(0) != true || inv.TT.Bit(1) != false {
+		t.Fatal("inverter truth table wrong")
+	}
+	if lib.Cells[lib.InvIndex()].Name != inv.Name {
+		t.Fatal("InvIndex inconsistent")
+	}
+}
+
+func TestSemanticSpotChecks(t *testing.T) {
+	lib := New14nm()
+	byName := map[string]Cell{}
+	for _, c := range lib.Cells {
+		byName[c.Name] = c
+	}
+	// NAND2(a,b) = !(a&b).
+	nand := byName["NAND2_X1"]
+	for m := 0; m < 4; m++ {
+		want := !(m&1 != 0 && m&2 != 0)
+		if nand.TT.Bit(m) != want {
+			t.Fatalf("NAND2 minterm %d", m)
+		}
+	}
+	// AOI21(a,b,c) = !((a&b)|c).
+	aoi := byName["AOI21_X1"]
+	for m := 0; m < 8; m++ {
+		want := !((m&1 != 0 && m&2 != 0) || m&4 != 0)
+		if aoi.TT.Bit(m) != want {
+			t.Fatalf("AOI21 minterm %d", m)
+		}
+	}
+	// MUX2: input 2 selects input 1 over input 0.
+	mux := byName["MUX2_X1"]
+	for m := 0; m < 8; m++ {
+		want := m&1 != 0
+		if m&4 != 0 {
+			want = m&2 != 0
+		}
+		if mux.TT.Bit(m) != want {
+			t.Fatalf("MUX2 minterm %d", m)
+		}
+	}
+}
+
+func TestRelativeCosts(t *testing.T) {
+	lib := New14nm()
+	byName := map[string]Cell{}
+	for _, c := range lib.Cells {
+		byName[c.Name] = c
+	}
+	// FinFET-library orderings the mapper's quality depends on.
+	if !(byName["INV_X1"].Area < byName["NAND2_X1"].Area) {
+		t.Fatal("INV must be smaller than NAND2")
+	}
+	if !(byName["NAND2_X1"].Area < byName["XOR2_X1"].Area) {
+		t.Fatal("NAND2 must be smaller than XOR2")
+	}
+	if !(byName["NAND2_X1"].Delay < byName["NAND4_X1"].Delay) {
+		t.Fatal("NAND2 must be faster than NAND4")
+	}
+	// NAND cheaper than AND (the extra inverter stage costs).
+	if !(byName["NAND2_X1"].Area < byName["AND2_X1"].Area) {
+		t.Fatal("NAND2 must be smaller than AND2")
+	}
+	for _, c := range lib.Cells {
+		if strings.HasSuffix(c.Name, "_X1") {
+			continue
+		}
+		t.Fatalf("unexpected drive suffix in %s", c.Name)
+	}
+}

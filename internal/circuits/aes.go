@@ -1,0 +1,407 @@
+package circuits
+
+import "flowgen/internal/aig"
+
+// sbox is the AES S-box (FIPS-197).
+var sbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+var rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36}
+
+// TableLookup builds combinational logic computing table[in] with outBits
+// output bits, as a Shannon (multiplexer) decomposition over the input
+// bits. Structural hashing merges shared subtrees across output bits.
+func TableLookup(g *aig.AIG, in Word, table []uint16, outBits int) Word {
+	n := len(in)
+	if len(table) != 1<<uint(n) {
+		panic("circuits: table size mismatch")
+	}
+	out := make(Word, outBits)
+	for bit := 0; bit < outBits; bit++ {
+		var rec func(lo, hi, depth int) aig.Lit
+		rec = func(lo, hi, depth int) aig.Lit {
+			if hi-lo == 1 {
+				if table[lo]&(1<<uint(bit)) != 0 {
+					return aig.ConstTrue
+				}
+				return aig.ConstFalse
+			}
+			mid := (lo + hi) / 2
+			f0 := rec(lo, mid, depth-1)
+			f1 := rec(mid, hi, depth-1)
+			if f0 == f1 {
+				return f0
+			}
+			return g.Mux(in[depth], f1, f0)
+		}
+		out[bit] = rec(0, 1<<uint(n), n-1)
+	}
+	return out
+}
+
+// SBoxCircuit instantiates the AES S-box on an 8-bit word.
+func SBoxCircuit(g *aig.AIG, in Word) Word {
+	t := make([]uint16, 256)
+	for i, v := range sbox {
+		t[i] = uint16(v)
+	}
+	return TableLookup(g, in, t, 8)
+}
+
+// xtimeCircuit multiplies a GF(2^8) element by x (poly 0x11B).
+func xtimeCircuit(g *aig.AIG, b Word) Word {
+	out := make(Word, 8)
+	msb := b[7]
+	out[0] = msb
+	for i := 1; i < 8; i++ {
+		out[i] = b[i-1]
+	}
+	// XOR reduction polynomial 0x1B on bits 1,3,4 when msb set.
+	out[1] = g.Xor(out[1], msb)
+	out[3] = g.Xor(out[3], msb)
+	out[4] = g.Xor(out[4], msb)
+	return out
+}
+
+// AES128 generates an AES-128 encryption core with the given number of
+// rounds (1..10). With rounds=10 this is full FIPS-197 AES (the final
+// round omits MixColumns); with fewer rounds it is standard reduced-round
+// AES: rounds-1 full rounds followed by a final round without MixColumns.
+// Inputs: pt[0..127] plaintext, key[0..127]; output: ct[0..127]. Byte i
+// occupies bits 8i..8i+7 (LSB first within the byte), matching the byte
+// order of crypto/aes blocks.
+func AES128(rounds int) *aig.AIG {
+	if rounds < 1 || rounds > 10 {
+		panic("circuits: AES128 rounds out of range")
+	}
+	g := aig.New()
+	pt := InputWord(g, "pt", 128)
+	key := InputWord(g, "key", 128)
+
+	toBytes := func(w Word) []Word {
+		bs := make([]Word, len(w)/8)
+		for i := range bs {
+			bs[i] = w[i*8 : i*8+8]
+		}
+		return bs
+	}
+	state := toBytes(pt) // state byte i = in[i]; s[r][c] = state[r+4c]
+	rk := toBytes(key)   // current round key, 16 bytes
+
+	xorBytes := func(a, b []Word) []Word {
+		out := make([]Word, len(a))
+		for i := range a {
+			out[i] = XorWord(g, a[i], b[i])
+		}
+		return out
+	}
+	// AddRoundKey 0.
+	state = xorBytes(state, rk)
+
+	nextRoundKey := func(rk []Word, round int) []Word {
+		// w3 = bytes 12..15; temp = SubWord(RotWord(w3)) ^ rcon.
+		out := make([]Word, 16)
+		var temp [4]Word
+		for i := 0; i < 4; i++ {
+			temp[i] = SBoxCircuit(g, rk[12+(i+1)%4])
+		}
+		rc := ConstWord(8, uint64(rcon[round]))
+		temp[0] = XorWord(g, temp[0], rc)
+		for i := 0; i < 4; i++ {
+			out[i] = XorWord(g, rk[i], temp[i])
+		}
+		// w[i] = w[i-1] ^ old w[i] for the remaining three words.
+		for w := 1; w < 4; w++ {
+			for i := 0; i < 4; i++ {
+				out[4*w+i] = XorWord(g, out[4*(w-1)+i], rk[4*w+i])
+			}
+		}
+		return out
+	}
+
+	subBytes := func(s []Word) []Word {
+		out := make([]Word, 16)
+		for i := range s {
+			out[i] = SBoxCircuit(g, s[i])
+		}
+		return out
+	}
+	shiftRows := func(s []Word) []Word {
+		out := make([]Word, 16)
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				out[r+4*c] = s[r+4*((c+r)%4)]
+			}
+		}
+		return out
+	}
+	mixColumns := func(s []Word) []Word {
+		out := make([]Word, 16)
+		for c := 0; c < 4; c++ {
+			a := []Word{s[4*c], s[1+4*c], s[2+4*c], s[3+4*c]}
+			var x [4]Word
+			for i := 0; i < 4; i++ {
+				x[i] = xtimeCircuit(g, a[i])
+			}
+			// out0 = 2a0 ^ 3a1 ^ a2 ^ a3, etc.
+			mul3 := func(i int) Word { return XorWord(g, x[i], a[i]) }
+			out[4*c] = XorWord(g, XorWord(g, x[0], mul3(1)), XorWord(g, a[2], a[3]))
+			out[1+4*c] = XorWord(g, XorWord(g, a[0], x[1]), XorWord(g, mul3(2), a[3]))
+			out[2+4*c] = XorWord(g, XorWord(g, a[0], a[1]), XorWord(g, x[2], mul3(3)))
+			out[3+4*c] = XorWord(g, XorWord(g, mul3(0), a[1]), XorWord(g, a[2], x[3]))
+		}
+		return out
+	}
+
+	for r := 1; r <= rounds; r++ {
+		rk = nextRoundKey(rk, r)
+		state = subBytes(state)
+		state = shiftRows(state)
+		if r != rounds || rounds < 1 {
+			// all but the final round mix columns
+		}
+		if r != rounds {
+			state = mixColumns(state)
+		}
+		state = xorBytes(state, rk)
+	}
+
+	var ct Word
+	for _, b := range state {
+		ct = append(ct, b...)
+	}
+	OutputWord(g, ct, "ct")
+	g.RecomputeRefs()
+	g.RecomputeLevels()
+	return g
+}
+
+// AES128Model encrypts one block in software with the given reduced round
+// count, mirroring AES128 exactly (for rounds=10 it equals standard AES).
+func AES128Model(rounds int, pt, key [16]byte) [16]byte {
+	state := pt
+	rk := key
+	xorb := func(a, b [16]byte) [16]byte {
+		var o [16]byte
+		for i := range a {
+			o[i] = a[i] ^ b[i]
+		}
+		return o
+	}
+	state = xorb(state, rk)
+	xtime := func(b byte) byte {
+		v := b << 1
+		if b&0x80 != 0 {
+			v ^= 0x1b
+		}
+		return v
+	}
+	for r := 1; r <= rounds; r++ {
+		// Key schedule step.
+		var nrk [16]byte
+		var temp [4]byte
+		for i := 0; i < 4; i++ {
+			temp[i] = sbox[rk[12+(i+1)%4]]
+		}
+		temp[0] ^= rcon[r]
+		for i := 0; i < 4; i++ {
+			nrk[i] = rk[i] ^ temp[i]
+		}
+		for w := 1; w < 4; w++ {
+			for i := 0; i < 4; i++ {
+				nrk[4*w+i] = nrk[4*(w-1)+i] ^ rk[4*w+i]
+			}
+		}
+		rk = nrk
+		// SubBytes.
+		for i := range state {
+			state[i] = sbox[state[i]]
+		}
+		// ShiftRows.
+		var sr [16]byte
+		for row := 0; row < 4; row++ {
+			for c := 0; c < 4; c++ {
+				sr[row+4*c] = state[row+4*((c+row)%4)]
+			}
+		}
+		state = sr
+		// MixColumns (skipped in the final round).
+		if r != rounds {
+			var mc [16]byte
+			for c := 0; c < 4; c++ {
+				a0, a1, a2, a3 := state[4*c], state[1+4*c], state[2+4*c], state[3+4*c]
+				mc[4*c] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3
+				mc[1+4*c] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3
+				mc[2+4*c] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3)
+				mc[3+4*c] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3)
+			}
+			state = mc
+		}
+		state = xorb(state, rk)
+	}
+	return state
+}
+
+// ---- MiniAES: a 16-bit scaled variant used for fast experiments ----
+
+// sbox4 is the mini-AES 4-bit S-box.
+var sbox4 = [16]byte{0xE, 0x4, 0xD, 0x1, 0x2, 0xF, 0xB, 0x8, 0x3, 0xA, 0x6, 0xC, 0x5, 0x9, 0x0, 0x7}
+
+// gf16Mul multiplies in GF(2^4) with polynomial x^4+x+1.
+func gf16Mul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 4; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x8
+		a = (a << 1) & 0xF
+		if hi != 0 {
+			a ^= 0x3 // x^4 = x+1
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gf16MulCircuit multiplies a 4-bit word by the constant c in GF(2^4).
+func gf16MulCircuit(g *aig.AIG, w Word, c byte) Word {
+	out := ConstWord(4, 0)
+	cur := append(Word{}, w...)
+	for i := 0; i < 4; i++ {
+		if c&(1<<uint(i)) != 0 {
+			out = XorWord(g, out, cur)
+		}
+		// cur *= x
+		hi := cur[3]
+		nxt := make(Word, 4)
+		nxt[0] = hi
+		nxt[1] = g.Xor(cur[0], hi)
+		nxt[2] = cur[1]
+		nxt[3] = cur[2]
+		cur = nxt
+	}
+	return out
+}
+
+// MiniAES generates a 16-bit mini-AES encryption core with the given
+// number of rounds: state is 4 nibbles (2x2), with SubNibbles (4-bit
+// S-box), ShiftRows (swap of the second row), MixColumns over GF(2^4)
+// with matrix [[3,2],[2,3]], AddRoundKey, and a rotate+S-box key
+// schedule. It preserves the structural families of AES (S-box lookups,
+// GF mixing, XOR lattices) at a scale suitable for fast flow evaluation.
+func MiniAES(rounds int) *aig.AIG {
+	if rounds < 1 || rounds > 8 {
+		panic("circuits: MiniAES rounds out of range")
+	}
+	g := aig.New()
+	pt := InputWord(g, "pt", 16)
+	key := InputWord(g, "key", 16)
+	nib := func(w Word, i int) Word { return w[i*4 : i*4+4] }
+
+	sb4 := func(in Word) Word {
+		t := make([]uint16, 16)
+		for i, v := range sbox4 {
+			t[i] = uint16(v)
+		}
+		return TableLookup(g, in, t, 4)
+	}
+
+	state := []Word{nib(pt, 0), nib(pt, 1), nib(pt, 2), nib(pt, 3)}
+	rk := []Word{nib(key, 0), nib(key, 1), nib(key, 2), nib(key, 3)}
+	for i := 0; i < 4; i++ {
+		state[i] = XorWord(g, state[i], rk[i])
+	}
+	for r := 1; r <= rounds; r++ {
+		// Key schedule: rk[i] ^= sbox4(rk[(i+1)%4]); rk[0] ^= rcon.
+		nrk := make([]Word, 4)
+		for i := 0; i < 4; i++ {
+			nrk[i] = XorWord(g, rk[i], sb4(rk[(i+1)%4]))
+		}
+		nrk[0] = XorWord(g, nrk[0], ConstWord(4, uint64(rcon[r]&0xF|1)))
+		rk = nrk
+		// SubNibbles.
+		for i := 0; i < 4; i++ {
+			state[i] = sb4(state[i])
+		}
+		// ShiftRows: state layout [s00, s10, s01, s11]; row 1 rotates.
+		state = []Word{state[0], state[3], state[2], state[1]}
+		// MixColumns per column (except final round).
+		if r != rounds {
+			mixed := make([]Word, 4)
+			for c := 0; c < 2; c++ {
+				a0, a1 := state[2*c], state[2*c+1]
+				mixed[2*c] = XorWord(g, gf16MulCircuit(g, a0, 3), gf16MulCircuit(g, a1, 2))
+				mixed[2*c+1] = XorWord(g, gf16MulCircuit(g, a0, 2), gf16MulCircuit(g, a1, 3))
+			}
+			state = mixed
+		}
+		for i := 0; i < 4; i++ {
+			state[i] = XorWord(g, state[i], rk[i])
+		}
+	}
+	var ct Word
+	for _, n := range state {
+		ct = append(ct, n...)
+	}
+	OutputWord(g, ct, "ct")
+	g.RecomputeRefs()
+	g.RecomputeLevels()
+	return g
+}
+
+// MiniAESModel mirrors MiniAES in software. State and key are 16-bit
+// values, nibble i in bits 4i..4i+3.
+func MiniAESModel(rounds int, pt, key uint16) uint16 {
+	getN := func(v uint16, i int) byte { return byte(v >> (uint(i) * 4) & 0xF) }
+	var state, rk [4]byte
+	for i := 0; i < 4; i++ {
+		state[i] = getN(pt, i) ^ getN(key, i)
+		rk[i] = getN(key, i)
+	}
+	for r := 1; r <= rounds; r++ {
+		var nrk [4]byte
+		for i := 0; i < 4; i++ {
+			nrk[i] = rk[i] ^ sbox4[rk[(i+1)%4]]
+		}
+		nrk[0] ^= rcon[r]&0xF | 1
+		rk = nrk
+		for i := 0; i < 4; i++ {
+			state[i] = sbox4[state[i]]
+		}
+		state = [4]byte{state[0], state[3], state[2], state[1]}
+		if r != rounds {
+			var mc [4]byte
+			for c := 0; c < 2; c++ {
+				a0, a1 := state[2*c], state[2*c+1]
+				mc[2*c] = gf16Mul(a0, 3) ^ gf16Mul(a1, 2)
+				mc[2*c+1] = gf16Mul(a0, 2) ^ gf16Mul(a1, 3)
+			}
+			state = mc
+		}
+		for i := 0; i < 4; i++ {
+			state[i] ^= rk[i]
+		}
+	}
+	var out uint16
+	for i := 0; i < 4; i++ {
+		out |= uint16(state[i]) << (uint(i) * 4)
+	}
+	return out
+}

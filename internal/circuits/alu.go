@@ -1,0 +1,114 @@
+package circuits
+
+import "flowgen/internal/aig"
+
+// ALU opcode values (3-bit op input).
+const (
+	ALUAdd = iota
+	ALUSub
+	ALUAnd
+	ALUOr
+	ALUXor
+	ALUSlt // set-less-than, unsigned
+	ALUSll // shift left logical (shift amount = low log2(width) bits of b)
+	ALUSrl // shift right logical
+	aluOps
+)
+
+// ALU generates a combinational ALU of the given width with eight
+// operations selected by a 3-bit opcode, modeled after the OpenCores
+// 64-bit ALU used in the paper. Inputs: a, b (width bits), op (3 bits);
+// output: y (width bits).
+func ALU(width int) *aig.AIG {
+	if width < 4 || width > 64 {
+		panic("circuits: ALU width out of range")
+	}
+	g := aig.New()
+	a := InputWord(g, "a", width)
+	b := InputWord(g, "b", width)
+	op := InputWord(g, "op", 3)
+
+	shBits := 0
+	for 1<<uint(shBits) < width {
+		shBits++
+	}
+	sh := b[:shBits]
+
+	addRes, _ := Adder(g, a, b, aig.ConstFalse)
+	subRes, geq := Sub(g, a, b)
+	andRes := AndWord(g, a, b)
+	orRes := OrWord(g, a, b)
+	xorRes := XorWord(g, a, b)
+	slt := make(Word, width)
+	for i := range slt {
+		slt[i] = aig.ConstFalse
+	}
+	slt[0] = geq.Not()
+	sll := ShiftLeftVar(g, a, sh)
+	srl := ShiftRightVar(g, a, sh, false)
+
+	results := []Word{addRes[:width], subRes[:width], andRes, orRes, xorRes, slt, sll, srl}
+
+	// One-hot decode of the opcode, then AND-OR select per output bit.
+	sel := make([]aig.Lit, aluOps)
+	for o := 0; o < aluOps; o++ {
+		s := aig.ConstTrue
+		for bi := 0; bi < 3; bi++ {
+			l := op[bi]
+			if o&(1<<uint(bi)) == 0 {
+				l = l.Not()
+			}
+			s = g.And(s, l)
+		}
+		sel[o] = s
+	}
+	y := make(Word, width)
+	for i := 0; i < width; i++ {
+		acc := aig.ConstFalse
+		for o := 0; o < aluOps; o++ {
+			acc = g.Or(acc, g.And(sel[o], results[o][i]))
+		}
+		y[i] = acc
+	}
+	OutputWord(g, y, "y")
+	g.RecomputeRefs()
+	g.RecomputeLevels()
+	return g
+}
+
+// ALUModel is the software reference for ALU.
+func ALUModel(width int, a, b uint64, op int) uint64 {
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (1 << uint(width)) - 1
+	}
+	a &= mask
+	b &= mask
+	shBits := 0
+	for 1<<uint(shBits) < width {
+		shBits++
+	}
+	sh := b & ((1 << uint(shBits)) - 1)
+	var y uint64
+	switch op {
+	case ALUAdd:
+		y = a + b
+	case ALUSub:
+		y = a - b
+	case ALUAnd:
+		y = a & b
+	case ALUOr:
+		y = a | b
+	case ALUXor:
+		y = a ^ b
+	case ALUSlt:
+		if a < b {
+			y = 1
+		}
+	case ALUSll:
+		y = a << sh
+	case ALUSrl:
+		y = a >> sh
+	}
+	return y & mask
+}

@@ -1,0 +1,306 @@
+package circuits
+
+import (
+	"crypto/aes"
+	"math/rand"
+	"testing"
+
+	aigpkg "flowgen/internal/aig"
+)
+
+func simWord(t *testing.T, g *aigpkg.AIG, inputs []bool) []bool {
+	t.Helper()
+	return g.EvalUint(inputs)
+}
+
+func TestAdderExhaustiveSmall(t *testing.T) {
+	g := aigpkg.New()
+	a := InputWord(g, "a", 4)
+	b := InputWord(g, "b", 4)
+	sum, co := Adder(g, a, b, aigpkg.ConstFalse)
+	OutputWord(g, sum, "s")
+	g.AddOutput(co, "co")
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			in := append(U64ToBits(x, 4), U64ToBits(y, 4)...)
+			out := simWord(t, g, in)
+			got := BitsToU64(out[:4])
+			gotCo := out[4]
+			want := (x + y) & 0xF
+			wantCo := x+y > 0xF
+			if got != want || gotCo != wantCo {
+				t.Fatalf("%d+%d: got %d co=%v, want %d co=%v", x, y, got, gotCo, want, wantCo)
+			}
+		}
+	}
+}
+
+func TestSubAndComparator(t *testing.T) {
+	g := aigpkg.New()
+	a := InputWord(g, "a", 5)
+	b := InputWord(g, "b", 5)
+	diff, geq := Sub(g, a, b)
+	OutputWord(g, diff, "d")
+	g.AddOutput(geq, "geq")
+	for x := uint64(0); x < 32; x++ {
+		for y := uint64(0); y < 32; y++ {
+			in := append(U64ToBits(x, 5), U64ToBits(y, 5)...)
+			out := simWord(t, g, in)
+			if got := BitsToU64(out[:5]); got != (x-y)&0x1F {
+				t.Fatalf("%d-%d = %d, want %d", x, y, got, (x-y)&0x1F)
+			}
+			if out[5] != (x >= y) {
+				t.Fatalf("geq(%d,%d) = %v", x, y, out[5])
+			}
+		}
+	}
+}
+
+func TestShifters(t *testing.T) {
+	g := aigpkg.New()
+	a := InputWord(g, "a", 8)
+	sh := InputWord(g, "sh", 3)
+	l := ShiftLeftVar(g, a, sh)
+	r := ShiftRightVar(g, a, sh, false)
+	ar := ShiftRightVar(g, a, sh, true)
+	OutputWord(g, l, "l")
+	OutputWord(g, r, "r")
+	OutputWord(g, ar, "ar")
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Uint64() & 0xFF
+		s := rng.Uint64() & 7
+		in := append(U64ToBits(x, 8), U64ToBits(s, 3)...)
+		out := simWord(t, g, in)
+		if got := BitsToU64(out[0:8]); got != (x<<s)&0xFF {
+			t.Fatalf("%d<<%d = %d", x, s, got)
+		}
+		if got := BitsToU64(out[8:16]); got != x>>s {
+			t.Fatalf("%d>>%d = %d", x, s, got)
+		}
+		wantAr := x >> s
+		if x&0x80 != 0 {
+			wantAr |= (0xFF << (8 - s)) & 0xFF
+		}
+		if got := BitsToU64(out[16:24]); got != wantAr {
+			t.Fatalf("%d>>>%d = %d want %d", x, s, got, wantAr)
+		}
+	}
+}
+
+func TestTableLookupRandomTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		table := make([]uint16, 64)
+		for i := range table {
+			table[i] = uint16(rng.Intn(1 << 7))
+		}
+		g := aigpkg.New()
+		in := InputWord(g, "x", 6)
+		out := TableLookup(g, in, table, 7)
+		OutputWord(g, out, "y")
+		for i := 0; i < 64; i++ {
+			res := simWord(t, g, U64ToBits(uint64(i), 6))
+			if got := BitsToU64(res); got != uint64(table[i]) {
+				t.Fatalf("trial %d: table[%d] = %d, want %d", trial, i, got, table[i])
+			}
+		}
+	}
+}
+
+func TestMontgomeryAgainstModel(t *testing.T) {
+	for _, width := range []int{4, 8, 12} {
+		mod := DefaultModulus(width)
+		g := Montgomery(width, mod)
+		rng := rand.New(rand.NewSource(int64(width)))
+		for trial := 0; trial < 50; trial++ {
+			a := rng.Uint64() % mod
+			b := rng.Uint64() % mod
+			in := append(U64ToBits(a, width), U64ToBits(b, width)...)
+			out := g.EvalUint(in)
+			got := BitsToU64(out)
+			want := MontgomeryModel(width, mod, a, b)
+			if got != want {
+				t.Fatalf("width=%d mont(%d,%d) = %d, want %d", width, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMontgomery64SpotCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-bit Montgomery is large")
+	}
+	width := 32
+	mod := DefaultModulus(width)
+	g := Montgomery(width, mod)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		a := rng.Uint64() % mod
+		b := rng.Uint64() % mod
+		in := append(U64ToBits(a, width), U64ToBits(b, width)...)
+		got := BitsToU64(g.EvalUint(in))
+		if want := MontgomeryModel(width, mod, a, b); got != want {
+			t.Fatalf("mont32(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestMiniAESAgainstModel(t *testing.T) {
+	for _, rounds := range []int{1, 2, 3} {
+		g := MiniAES(rounds)
+		rng := rand.New(rand.NewSource(int64(rounds)))
+		for trial := 0; trial < 100; trial++ {
+			pt := uint16(rng.Uint32())
+			key := uint16(rng.Uint32())
+			in := append(U64ToBits(uint64(pt), 16), U64ToBits(uint64(key), 16)...)
+			got := uint16(BitsToU64(g.EvalUint(in)))
+			want := MiniAESModel(rounds, pt, key)
+			if got != want {
+				t.Fatalf("rounds=%d miniaes(%04x,%04x) = %04x, want %04x", rounds, pt, key, got, want)
+			}
+		}
+	}
+}
+
+func TestAES128ReducedRoundsAgainstModel(t *testing.T) {
+	g := AES128(1)
+	rng := rand.New(rand.NewSource(1))
+	var pt, key [16]byte
+	for trial := 0; trial < 3; trial++ {
+		for i := range pt {
+			pt[i] = byte(rng.Intn(256))
+			key[i] = byte(rng.Intn(256))
+		}
+		in := make([]bool, 0, 256)
+		for _, b := range pt {
+			in = append(in, U64ToBits(uint64(b), 8)...)
+		}
+		for _, b := range key {
+			in = append(in, U64ToBits(uint64(b), 8)...)
+		}
+		out := g.EvalUint(in)
+		want := AES128Model(1, pt, key)
+		for i := 0; i < 16; i++ {
+			got := byte(BitsToU64(out[i*8 : i*8+8]))
+			if got != want[i] {
+				t.Fatalf("byte %d: got %02x want %02x", i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestAES128FullMatchesCryptoAES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full AES core is large")
+	}
+	g := AES128(10)
+	rng := rand.New(rand.NewSource(2))
+	var pt, key [16]byte
+	for trial := 0; trial < 2; trial++ {
+		for i := range pt {
+			pt[i] = byte(rng.Intn(256))
+			key[i] = byte(rng.Intn(256))
+		}
+		block, err := aes.NewCipher(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [16]byte
+		block.Encrypt(want[:], pt[:])
+
+		in := make([]bool, 0, 256)
+		for _, b := range pt {
+			in = append(in, U64ToBits(uint64(b), 8)...)
+		}
+		for _, b := range key {
+			in = append(in, U64ToBits(uint64(b), 8)...)
+		}
+		out := g.EvalUint(in)
+		for i := 0; i < 16; i++ {
+			got := byte(BitsToU64(out[i*8 : i*8+8]))
+			if got != want[i] {
+				t.Fatalf("byte %d: got %02x want %02x", i, got, want[i])
+			}
+		}
+		// The model must agree with crypto/aes too.
+		if AES128Model(10, pt, key) != want {
+			t.Fatal("software model diverges from crypto/aes")
+		}
+	}
+}
+
+func TestALUAgainstModel(t *testing.T) {
+	for _, width := range []int{8, 16} {
+		g := ALU(width)
+		rng := rand.New(rand.NewSource(int64(width)))
+		for trial := 0; trial < 200; trial++ {
+			a := rng.Uint64()
+			b := rng.Uint64()
+			op := rng.Intn(aluOps)
+			in := append(U64ToBits(a, width), U64ToBits(b, width)...)
+			in = append(in, U64ToBits(uint64(op), 3)...)
+			got := BitsToU64(g.EvalUint(in))
+			want := ALUModel(width, a, b, op)
+			if got != want {
+				t.Fatalf("width=%d op=%d a=%x b=%x: got %x want %x", width, op, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("expected error")
+	}
+	for _, n := range []string{"mont16", "miniaes", "alu16"} {
+		d, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := d.Build()
+		if g.NumAnds() == 0 {
+			t.Fatalf("%s: empty design", n)
+		}
+	}
+	if len(Names()) < 8 {
+		t.Fatalf("registry too small: %v", Names())
+	}
+}
+
+func TestDesignSizes(t *testing.T) {
+	// Document/lock reduced design sizes into a sane band so experiment
+	// runtimes stay predictable.
+	for _, tc := range []struct {
+		name     string
+		min, max int
+	}{
+		{"mont8", 150, 4000},
+		{"mont16", 800, 16000},
+		{"miniaes", 200, 6000},
+		{"alu8", 150, 4000},
+		{"alu16", 400, 10000},
+	} {
+		d, err := ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := d.Build().NumAnds()
+		if n < tc.min || n > tc.max {
+			t.Fatalf("%s: %d ANDs outside [%d,%d]", tc.name, n, tc.min, tc.max)
+		}
+		t.Logf("%s: %d ANDs", tc.name, n)
+	}
+}
+
+func BenchmarkBuildMont16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Montgomery(16, DefaultModulus(16))
+	}
+}
+
+func BenchmarkBuildMiniAES(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = MiniAES(3)
+	}
+}

@@ -1,0 +1,85 @@
+package circuits
+
+import (
+	"math/big"
+
+	"flowgen/internal/aig"
+)
+
+// Montgomery generates a combinational radix-2 Montgomery modular
+// multiplier: given n-bit inputs A and B it computes
+// S = A · B · 2^(-n) mod N, with the odd modulus N fixed at generation
+// time. The iterative algorithm is fully unrolled, which is how the
+// OpenCores 64-bit Montgomery multiplier used in the paper is structured
+// for synthesis benchmarking.
+//
+// The circuit assumes A, B < N (the reference model reduces its inputs).
+func Montgomery(width int, modulus uint64) *aig.AIG {
+	if width < 2 || width > 64 {
+		panic("circuits: Montgomery width out of range")
+	}
+	if modulus%2 == 0 {
+		panic("circuits: Montgomery modulus must be odd")
+	}
+	g := aig.New()
+	a := InputWord(g, "a", width)
+	b := InputWord(g, "b", width)
+	nWide := ConstWord(width+2, modulus)
+
+	// S accumulates over width+2 bits (S stays below 2N).
+	s := ConstWord(width+2, 0)
+	bWide := append(append(Word{}, b...), aig.ConstFalse, aig.ConstFalse)
+	for i := 0; i < width; i++ {
+		// S += a_i * B
+		addend := GateWord(g, bWide, a[i])
+		s, _ = Adder(g, s, addend, aig.ConstFalse)
+		s = s[:width+2]
+		// If S is odd, add N to make it even.
+		corr := GateWord(g, nWide, s[0])
+		s, _ = Adder(g, s, corr, aig.ConstFalse)
+		s = s[:width+2]
+		// S >>= 1 (exact: S is even here).
+		s = append(s[1:], aig.ConstFalse)
+	}
+	// Final conditional subtraction: S >= N ? S-N : S.
+	diff, geq := Sub(g, s, nWide)
+	res := MuxWord(g, geq, diff[:width+2], s)
+	OutputWord(g, res[:width], "s")
+	g.RecomputeRefs()
+	g.RecomputeLevels()
+	return g
+}
+
+// MontgomeryModel is the reference software model: it returns
+// A·B·2^(-width) mod modulus, reducing a and b first.
+func MontgomeryModel(width int, modulus, a, b uint64) uint64 {
+	m := new(big.Int).SetUint64(modulus)
+	x := new(big.Int).SetUint64(a)
+	y := new(big.Int).SetUint64(b)
+	x.Mod(x, m)
+	y.Mod(y, m)
+	rInv := new(big.Int).Lsh(big.NewInt(1), uint(width))
+	rInv.ModInverse(rInv, m)
+	x.Mul(x, y)
+	x.Mul(x, rInv)
+	x.Mod(x, m)
+	return x.Uint64()
+}
+
+// DefaultModulus returns a fixed odd modulus with the top bit of the
+// given width set, so operands exercise the full datapath.
+func DefaultModulus(width int) uint64 {
+	// A few good primes per width band; fall back to (2^w - small) odd.
+	switch {
+	case width >= 64:
+		return 0xFFFFFFFFFFFFFFC5 // largest 64-bit prime
+	case width >= 32:
+		return (uint64(1) << uint(width)) - 5
+	default:
+		m := (uint64(1) << uint(width)) - 3
+		if m%2 == 0 {
+			m--
+		}
+		return m
+	}
+}

@@ -1,0 +1,68 @@
+package circuits
+
+import (
+	"fmt"
+	"sort"
+
+	"flowgen/internal/aig"
+)
+
+// Design is a named circuit generator.
+type Design struct {
+	Name  string
+	Brief string
+	Build func() *aig.AIG
+}
+
+// registry holds the named designs available to the CLI tools and
+// experiment harness.
+var registry = map[string]Design{}
+
+func register(d Design) { registry[d.Name] = d }
+
+func init() {
+	// Paper-scale designs.
+	register(Design{"mont64", "64-bit Montgomery modular multiplier (paper scale)",
+		func() *aig.AIG { return Montgomery(64, DefaultModulus(64)) }})
+	register(Design{"aes128", "128-bit AES core, full 10 rounds (paper scale)",
+		func() *aig.AIG { return AES128(10) }})
+	register(Design{"alu64", "64-bit ALU (paper scale)",
+		func() *aig.AIG { return ALU(64) }})
+
+	// Reduced-scale counterparts for fast experiments (same structural
+	// families: unrolled modular arithmetic, S-box + GF mixing, mux-heavy
+	// datapath).
+	register(Design{"mont16", "16-bit Montgomery modular multiplier",
+		func() *aig.AIG { return Montgomery(16, DefaultModulus(16)) }})
+	register(Design{"mont8", "8-bit Montgomery modular multiplier",
+		func() *aig.AIG { return Montgomery(8, DefaultModulus(8)) }})
+	register(Design{"aes128r1", "128-bit AES core, 1 round",
+		func() *aig.AIG { return AES128(1) }})
+	register(Design{"miniaes", "16-bit mini-AES, 3 rounds",
+		func() *aig.AIG { return MiniAES(3) }})
+	register(Design{"miniaes2", "16-bit mini-AES, 2 rounds",
+		func() *aig.AIG { return MiniAES(2) }})
+	register(Design{"alu16", "16-bit ALU",
+		func() *aig.AIG { return ALU(16) }})
+	register(Design{"alu8", "8-bit ALU",
+		func() *aig.AIG { return ALU(8) }})
+}
+
+// ByName returns the registered design generator.
+func ByName(name string) (Design, error) {
+	d, ok := registry[name]
+	if !ok {
+		return Design{}, fmt.Errorf("circuits: unknown design %q (have %v)", name, Names())
+	}
+	return d, nil
+}
+
+// Names lists the registered design names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,361 @@
+// Package core implements the paper's contribution: the fully autonomous
+// framework of Figure 2 that develops design-specific synthesis flows
+// without human knowledge. It wires the substrates together:
+//
+//	① generate training data — random flows are synthesized (internal/synth)
+//	   and labeled by QoR percentile (internal/label), incrementally: the
+//	   first classifier trains after 1000 labeled flows and is retrained
+//	   every 500 new flows, with class determinators refit dynamically;
+//	② train the CNN classifier (internal/nn, internal/opt, internal/train)
+//	   on one-hot flow matrices (internal/flow);
+//	③ predict a large pool of unlabeled flows and emit the angel-flows and
+//	   devil-flows with the highest softmax confidence in class 0 and
+//	   class n.
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+	"time"
+
+	"flowgen/internal/flow"
+	"flowgen/internal/label"
+	"flowgen/internal/nn"
+	"flowgen/internal/opt"
+	"flowgen/internal/synth"
+	"flowgen/internal/tensor"
+	"flowgen/internal/train"
+)
+
+// Config parameterizes a framework run. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	Space       flow.Space
+	Metrics     []synth.Metric // labeling objective (single- or multi-metric)
+	Percentiles []float64      // class determinator percentiles
+
+	TrainFlows       int // total labeled flows to collect (paper: 10000)
+	InitialLabeled   int // flows before the first training round (paper: 1000)
+	RetrainEvery     int // new flows per retraining round (paper: 500)
+	StepsPerRound    int // CNN minibatch steps per (re)training round
+	SampleFlows      int // unlabeled pool size (paper: 100000)
+	NumOut           int // angel and devil flows to emit (paper: 200)
+	EncodeH, EncodeW int
+
+	Arch      nn.ArchConfig
+	Optimizer string  // one of opt.Names (paper best: RMSProp)
+	LearnRate float64 // paper: 1e-4
+	Seed      int64
+}
+
+// DefaultConfig returns a configuration with the paper's structure but
+// CPU-scale counts. The objective defaults to area.
+func DefaultConfig(space flow.Space) Config {
+	cfg := Config{
+		Space:          space,
+		Metrics:        []synth.Metric{synth.MetricArea},
+		Percentiles:    label.DefaultPercentiles,
+		TrainFlows:     300,
+		InitialLabeled: 100,
+		RetrainEvery:   50,
+		StepsPerRound:  400,
+		SampleFlows:    600,
+		NumOut:         20,
+		Optimizer:      "RMSProp",
+		LearnRate:      1e-3,
+		Seed:           1,
+	}
+	cfg.EncodeH, cfg.EncodeW = EncodeShape(space)
+	cfg.Arch = nn.FastArch(len(cfg.Percentiles) + 1)
+	cfg.Arch.InH, cfg.Arch.InW = cfg.EncodeH, cfg.EncodeW
+	return cfg
+}
+
+// PaperConfig returns the paper's exact experiment parameters (days of
+// runtime on the paper's hardware; use DefaultConfig for laptops).
+func PaperConfig(space flow.Space) Config {
+	cfg := DefaultConfig(space)
+	cfg.TrainFlows = 10000
+	cfg.InitialLabeled = 1000
+	cfg.RetrainEvery = 500
+	cfg.StepsPerRound = 5000 // ~100k steps over 19 retraining rounds
+	cfg.SampleFlows = 100000
+	cfg.NumOut = 200
+	cfg.LearnRate = 1e-4
+	cfg.Arch = nn.PaperArch(len(cfg.Percentiles) + 1)
+	cfg.Arch.InH, cfg.Arch.InW = cfg.EncodeH, cfg.EncodeW
+	return cfg
+}
+
+// EncodeShape picks the squarest factorization of L*n for the 2-D
+// encoding (24×6 → 12×12, as in the paper).
+func EncodeShape(s flow.Space) (h, w int) {
+	total := s.Length() * s.N()
+	best := 1
+	for d := 1; d*d <= total; d++ {
+		if total%d == 0 {
+			best = d
+		}
+	}
+	return best, total / best
+}
+
+// ScoredFlow is a pool flow with its prediction.
+type ScoredFlow struct {
+	Flow       flow.Flow
+	Class      int     // argmax class
+	Confidence float64 // probability of the selected class
+	Probs      []float64
+}
+
+// RoundStat records one incremental (re)training round for the
+// accuracy-over-time curves of Figures 4 and 5.
+type RoundStat struct {
+	Labeled   int           // labeled flows available in this round
+	Steps     int           // cumulative training steps
+	Loss      float64       // mean minibatch loss in the round
+	TrainAcc  float64       // accuracy on the labeled training set
+	Collect   time.Duration // wall time spent labeling (synthesis)
+	TrainTime time.Duration // wall time spent in gradient descent
+}
+
+// Result is the output of a framework run.
+type Result struct {
+	Angels []ScoredFlow
+	Devils []ScoredFlow
+	Model  *label.Model
+	Net    *nn.Network
+	Rounds []RoundStat
+
+	TrainFlows []flow.Flow
+	TrainQoRs  []synth.QoR
+}
+
+// Framework is the autonomous flow developer.
+type Framework struct {
+	Cfg    Config
+	Engine *synth.Engine
+	rng    *rand.Rand
+}
+
+// New builds a framework over a synthesis engine.
+func New(cfg Config, engine *synth.Engine) (*Framework, error) {
+	if cfg.TrainFlows < cfg.InitialLabeled {
+		return nil, fmt.Errorf("core: TrainFlows %d < InitialLabeled %d", cfg.TrainFlows, cfg.InitialLabeled)
+	}
+	if cfg.RetrainEvery <= 0 || cfg.InitialLabeled <= 0 || cfg.NumOut <= 0 {
+		return nil, fmt.Errorf("core: non-positive round sizes")
+	}
+	if _, err := opt.ByName(cfg.Optimizer, cfg.LearnRate); err != nil {
+		return nil, err
+	}
+	return &Framework{Cfg: cfg, Engine: engine, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Progress receives phase updates during Run.
+type Progress func(format string, args ...any)
+
+func nop(string, ...any) {}
+
+// Run executes the full pipeline ①→②→③ and returns the angel and devil
+// flows.
+func (fw *Framework) Run(progress Progress) (*Result, error) {
+	if progress == nil {
+		progress = nop
+	}
+	cfg := fw.Cfg
+
+	// ① Sample the training flows up front (they are labeled in
+	// increments below).
+	flows := cfg.Space.RandomUnique(fw.rng, cfg.TrainFlows)
+	qors := make([]synth.QoR, 0, cfg.TrainFlows)
+
+	net := cfg.Arch.Build(cfg.Seed + 1)
+	optimizer, err := opt.ByName(cfg.Optimizer, cfg.LearnRate)
+	if err != nil {
+		return nil, err
+	}
+	trainer := train.NewTrainer(net, optimizer, cfg.Seed+2)
+
+	res := &Result{Net: net, TrainFlows: flows}
+	var model *label.Model
+	steps := 0
+
+	labeled := 0
+	for labeled < cfg.TrainFlows {
+		target := labeled + cfg.RetrainEvery
+		if labeled == 0 {
+			target = cfg.InitialLabeled
+		}
+		if target > cfg.TrainFlows {
+			target = cfg.TrainFlows
+		}
+		tCollect := time.Now()
+		batch, err := fw.Engine.EvaluateAll(flows[labeled:target], nil)
+		if err != nil {
+			return nil, err
+		}
+		qors = append(qors, batch...)
+		labeled = target
+		collectDur := time.Since(tCollect)
+		progress("labeled %d/%d flows", labeled, cfg.TrainFlows)
+
+		// Refit determinators on everything collected so far (the class
+		// definitions change dynamically as the dataset grows).
+		model, err = label.Fit(qors, cfg.Metrics, cfg.Percentiles)
+		if err != nil {
+			return nil, err
+		}
+		ds := fw.buildDataset(flows[:labeled], qors, model)
+		trainer.SetData(ds)
+
+		tTrain := time.Now()
+		loss, err := trainer.Steps(cfg.StepsPerRound)
+		if err != nil {
+			return nil, err
+		}
+		steps += cfg.StepsPerRound
+		res.Rounds = append(res.Rounds, RoundStat{
+			Labeled:   labeled,
+			Steps:     steps,
+			Loss:      loss,
+			TrainAcc:  train.Accuracy(net, ds),
+			Collect:   collectDur,
+			TrainTime: time.Since(tTrain),
+		})
+		progress("round %d: loss %.4f train-acc %.3f", len(res.Rounds), loss,
+			res.Rounds[len(res.Rounds)-1].TrainAcc)
+	}
+	res.Model = model
+	res.TrainQoRs = qors
+
+	// ③ Predict the unlabeled pool and pick the extremes.
+	pool := fw.GeneratePool(flows)
+	progress("predicting %d sample flows", len(pool))
+	preds := fw.PredictPool(net, pool)
+	res.Angels, res.Devils = SelectFlows(preds, model.NumClasses(), cfg.NumOut)
+	progress("selected %d angel and %d devil flows", len(res.Angels), len(res.Devils))
+	return res, nil
+}
+
+// buildDataset encodes labeled flows for the CNN.
+func (fw *Framework) buildDataset(flows []flow.Flow, qors []synth.QoR, model *label.Model) *train.Dataset {
+	cfg := fw.Cfg
+	ds := &train.Dataset{H: cfg.EncodeH, W: cfg.EncodeW, NumCl: model.NumClasses()}
+	for i, f := range flows {
+		ds.Add(f.Encode(cfg.Space, cfg.EncodeH, cfg.EncodeW), model.Class(qors[i]))
+	}
+	return ds
+}
+
+// GeneratePool samples cfg.SampleFlows unlabeled flows disjoint from the
+// given training flows. It panics if the space cannot supply that many
+// distinct flows beyond the excluded set (only possible for toy spaces).
+func (fw *Framework) GeneratePool(exclude []flow.Flow) []flow.Flow {
+	need := big.NewInt(int64(fw.Cfg.SampleFlows + len(exclude)))
+	if need.Cmp(fw.Cfg.Space.Count()) > 0 {
+		panic("core: sample pool plus training flows exceed the flow space size")
+	}
+	seen := make(map[string]struct{}, len(exclude))
+	for _, f := range exclude {
+		seen[f.Key()] = struct{}{}
+	}
+	out := make([]flow.Flow, 0, fw.Cfg.SampleFlows)
+	for len(out) < fw.Cfg.SampleFlows {
+		f := fw.Cfg.Space.Random(fw.rng)
+		k := f.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, f)
+	}
+	return out
+}
+
+// PredictPool classifies every pool flow.
+func (fw *Framework) PredictPool(net *nn.Network, pool []flow.Flow) []ScoredFlow {
+	cfg := fw.Cfg
+	out := make([]ScoredFlow, len(pool))
+	for i, f := range pool {
+		x := tensor.FromSlice(f.Encode(cfg.Space, cfg.EncodeH, cfg.EncodeW), 1, cfg.EncodeH, cfg.EncodeW)
+		probs := net.Predict(x)
+		cls := train.Argmax(probs)
+		out[i] = ScoredFlow{Flow: f, Class: cls, Confidence: probs[cls], Probs: probs}
+	}
+	return out
+}
+
+// SelectFlows implements Section 3.3 / Table 2: among flows predicted as
+// class 0 (resp. class n) pick the numOut with the highest class-0
+// (class-n) probability. When the classifier assigns fewer than numOut
+// pool flows to an extreme class (possible early in incremental training,
+// since classes 0 and n hold only ~5% of the population each), the
+// remaining slots are filled by ranking the rest of the pool on the same
+// class probability — the selection rule degrades gracefully instead of
+// returning short lists.
+func SelectFlows(preds []ScoredFlow, numClasses, numOut int) (angels, devils []ScoredFlow) {
+	taken := make(map[string]bool)
+	pick := func(class int) []ScoredFlow {
+		var primary, rest []ScoredFlow
+		for _, p := range preds {
+			if taken[p.Flow.Key()] {
+				continue
+			}
+			if p.Class == class {
+				primary = append(primary, p)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		byClassProb := func(s []ScoredFlow) {
+			sort.SliceStable(s, func(i, j int) bool { return s[i].Probs[class] > s[j].Probs[class] })
+		}
+		byClassProb(primary)
+		if len(primary) < numOut {
+			byClassProb(rest)
+			primary = append(primary, rest[:min(numOut-len(primary), len(rest))]...)
+		}
+		if len(primary) > numOut {
+			primary = primary[:numOut]
+		}
+		for _, p := range primary {
+			taken[p.Flow.Key()] = true
+		}
+		return primary
+	}
+	return pick(0), pick(numClasses - 1)
+}
+
+// Accuracy implements the paper's Section 4.1 metric: the fraction of
+// generated angel-flows whose true class is 0 plus generated devil-flows
+// whose true class is n, over the total generated. True classes come
+// from synthesizing the generated flows and applying the labeling model.
+func (fw *Framework) Accuracy(res *Result) (float64, error) {
+	all := append(append([]ScoredFlow{}, res.Angels...), res.Devils...)
+	flows := make([]flow.Flow, len(all))
+	for i, s := range all {
+		flows[i] = s.Flow
+	}
+	qors, err := fw.Engine.EvaluateAll(flows, nil)
+	if err != nil {
+		return 0, err
+	}
+	top := res.Model.NumClasses() - 1
+	correct := 0
+	for i := range all {
+		trueClass := res.Model.Class(qors[i])
+		if i < len(res.Angels) && trueClass == 0 {
+			correct++
+		}
+		if i >= len(res.Angels) && trueClass == top {
+			correct++
+		}
+	}
+	if len(all) == 0 {
+		return 0, nil
+	}
+	return float64(correct) / float64(len(all)), nil
+}

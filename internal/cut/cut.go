@@ -1,0 +1,306 @@
+// Package cut computes k-feasible cuts of AIG nodes, their local truth
+// tables, and reconvergence-driven cuts. It is the shared engine used by
+// rewriting (4-input cuts), restructuring (8-input cuts), refactoring
+// (10–12 input reconvergence cuts) and technology mapping, mirroring
+// ABC's cut manager.
+package cut
+
+import (
+	"sort"
+
+	"flowgen/internal/aig"
+	"flowgen/internal/bitvec"
+)
+
+// Cut is a k-feasible cut of a node: a set of leaf nodes such that every
+// path from a primary input to the node passes through a leaf, together
+// with the node function expressed over the leaves (leaf i is variable i).
+type Cut struct {
+	Leaves []int     // node ids, sorted ascending
+	TT     bitvec.TT // function of the (positive) root literal over Leaves
+	sig    uint64    // leaf membership signature for fast dominance checks
+}
+
+func signature(leaves []int) uint64 {
+	var s uint64
+	for _, l := range leaves {
+		s |= 1 << (uint(l) & 63)
+	}
+	return s
+}
+
+// dominates reports whether a's leaves are a subset of b's.
+func dominates(a, b *Cut) bool {
+	if len(a.Leaves) > len(b.Leaves) || a.sig&^b.sig != 0 {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a.Leaves) && j < len(b.Leaves) {
+		switch {
+		case a.Leaves[i] == b.Leaves[j]:
+			i++
+			j++
+		case a.Leaves[i] > b.Leaves[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a.Leaves)
+}
+
+// mergeLeaves unions two sorted leaf lists, returning nil if the result
+// exceeds k leaves.
+func mergeLeaves(a, b []int, k int) []int {
+	out := make([]int, 0, k)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v int
+		switch {
+		case i >= len(a):
+			v = b[j]
+			j++
+		case j >= len(b):
+			v = a[i]
+			i++
+		case a[i] < b[j]:
+			v = a[i]
+			i++
+		case a[i] > b[j]:
+			v = b[j]
+			j++
+		default:
+			v = a[i]
+			i++
+			j++
+		}
+		if len(out) == k {
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// expandTT lifts a child cut function onto the merged leaf set. Cut
+// functions are stored over k variables but depend only on the first
+// len(Leaves) of them, so the table is first shrunk to the leaf count and
+// then expanded with the leaf positions in the merged set.
+func expandTT(child *Cut, merged []int, k int) bitvec.TT {
+	n := len(child.Leaves)
+	ident := make([]int, n)
+	perm := make([]int, n)
+	for i, l := range child.Leaves {
+		ident[i] = i
+		perm[i] = sort.SearchInts(merged, l)
+	}
+	small := bitvec.Shrink(child.TT, ident)
+	return bitvec.Expand(small, k, perm)
+}
+
+// Set holds the enumerated cuts of every live node of a graph.
+type Set struct {
+	K       int
+	MaxCuts int
+	Cuts    map[int][]Cut // node id -> cuts (first cut is the trivial cut)
+}
+
+// Enumerate computes up to maxCuts k-feasible cuts (with truth tables) for
+// every live AND node of g. Each node also receives its trivial cut
+// {node}. Dominated cuts are pruned.
+func Enumerate(g *aig.AIG, k, maxCuts int) *Set {
+	s := &Set{K: k, MaxCuts: maxCuts, Cuts: make(map[int][]Cut)}
+	trivial := func(id int) Cut {
+		return Cut{Leaves: []int{id}, TT: bitvec.Var(k, 0), sig: signature([]int{id})}
+	}
+	cutsOf := func(l aig.Lit) []Cut {
+		id := l.Node()
+		if cs, ok := s.Cuts[id]; ok {
+			return cs
+		}
+		// PIs (and constants) have only the trivial cut.
+		c := []Cut{trivial(id)}
+		s.Cuts[id] = c
+		return c
+	}
+	g.ForEachLiveAnd(func(id int) {
+		f0, f1 := g.Fanin0(id), g.Fanin1(id)
+		c0s, c1s := cutsOf(f0), cutsOf(f1)
+		var out []Cut
+		out = append(out, trivial(id))
+		for _, c0 := range c0s {
+			for _, c1 := range c1s {
+				leaves := mergeLeaves(c0.Leaves, c1.Leaves, k)
+				if leaves == nil {
+					continue
+				}
+				t0 := expandTT(&c0, leaves, k)
+				if f0.IsNeg() {
+					t0 = bitvec.Not(t0)
+				}
+				t1 := expandTT(&c1, leaves, k)
+				if f1.IsNeg() {
+					t1 = bitvec.Not(t1)
+				}
+				nc := Cut{Leaves: leaves, TT: bitvec.And(t0, t1), sig: signature(leaves)}
+				if addCut(&out, nc, maxCuts) && len(out) >= maxCuts {
+					break
+				}
+			}
+			if len(out) >= maxCuts {
+				break
+			}
+		}
+		s.Cuts[id] = out
+	})
+	return s
+}
+
+// addCut inserts nc into set unless dominated; removes cuts nc dominates.
+// Reports whether the cut was inserted.
+func addCut(set *[]Cut, nc Cut, maxCuts int) bool {
+	for i := range *set {
+		if dominates(&(*set)[i], &nc) {
+			return false
+		}
+	}
+	kept := (*set)[:0]
+	for i := range *set {
+		if !dominates(&nc, &(*set)[i]) {
+			kept = append(kept, (*set)[i])
+		}
+	}
+	*set = append(kept, nc)
+	return true
+}
+
+// ReconvCut grows a reconvergence-driven cut of root with at most k
+// leaves, in the style of ABC's reconvergence-driven cut computation:
+// starting from the fanins of root, it repeatedly expands the leaf whose
+// expansion increases the leaf count the least (preferring reconvergent
+// expansions that shrink the cut).
+func ReconvCut(g *aig.AIG, root int, k int) []int {
+	if !g.IsAnd(root) {
+		return []int{root}
+	}
+	inCone := map[int]bool{root: true}
+	leaves := []int{g.Fanin0(root).Node(), g.Fanin1(root).Node()}
+	if leaves[0] == leaves[1] {
+		leaves = leaves[:1]
+	}
+	leafSet := map[int]bool{}
+	for _, l := range leaves {
+		leafSet[l] = true
+	}
+	cost := func(id int) (int, bool) {
+		// Expanding a leaf removes it and adds its fanins not already
+		// leaves or cone-internal... fanins already in the cone interior
+		// would create a non-cut; they can only be current leaves.
+		if !g.IsAnd(id) {
+			return 0, false
+		}
+		delta := -1
+		for _, f := range [2]aig.Lit{g.Fanin0(id), g.Fanin1(id)} {
+			if !leafSet[f.Node()] && !inCone[f.Node()] {
+				delta++
+			}
+		}
+		return delta, true
+	}
+	for {
+		// Deterministic scan: candidates in ascending node-id order so
+		// that tie-breaking does not depend on map iteration order.
+		sorted := make([]int, 0, len(leafSet))
+		for l := range leafSet {
+			sorted = append(sorted, l)
+		}
+		sort.Ints(sorted)
+		best, bestCost, found := -1, 3, false
+		for _, l := range sorted {
+			c, ok := cost(l)
+			if !ok {
+				continue
+			}
+			if c < bestCost {
+				best, bestCost, found = l, c, true
+			}
+		}
+		if !found || len(leafSet)+bestCost > k {
+			break
+		}
+		// Expand best.
+		delete(leafSet, best)
+		inCone[best] = true
+		for _, f := range [2]aig.Lit{g.Fanin0(best), g.Fanin1(best)} {
+			if !inCone[f.Node()] {
+				leafSet[f.Node()] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(leafSet))
+	for l := range leafSet {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConeNodes returns the interior AND nodes of the cone of root bounded by
+// leaves, in topological order (root last). Returns nil if the cone is
+// not bounded by the leaves (should not happen for valid cuts).
+func ConeNodes(g *aig.AIG, root int, leaves []int) []int {
+	leafSet := make(map[int]bool, len(leaves))
+	for _, l := range leaves {
+		leafSet[l] = true
+	}
+	var order []int
+	seen := map[int]bool{}
+	var visit func(id int) bool
+	visit = func(id int) bool {
+		if leafSet[id] {
+			return true
+		}
+		if seen[id] {
+			return true
+		}
+		if !g.IsAnd(id) {
+			return false // hit a PI that is not a leaf: unbounded
+		}
+		seen[id] = true
+		if !visit(g.Fanin0(id).Node()) || !visit(g.Fanin1(id).Node()) {
+			return false
+		}
+		order = append(order, id)
+		return true
+	}
+	if !visit(root) {
+		return nil
+	}
+	return order
+}
+
+// ConeTT computes the truth table of root (positive literal) over the cut
+// leaves: leaf i is variable i. The cone must be bounded by the leaves.
+// Returns the table and true, or a zero table and false if unbounded.
+func ConeTT(g *aig.AIG, root int, leaves []int) (bitvec.TT, bool) {
+	k := len(leaves)
+	interior := ConeNodes(g, root, leaves)
+	if interior == nil {
+		return bitvec.TT{}, false
+	}
+	tts := make(map[int]bitvec.TT, len(interior)+k)
+	for i, l := range leaves {
+		tts[l] = bitvec.Var(k, i)
+	}
+	read := func(l aig.Lit) bitvec.TT {
+		t := tts[l.Node()]
+		if l.IsNeg() {
+			return bitvec.Not(t)
+		}
+		return t
+	}
+	for _, id := range interior {
+		tts[id] = bitvec.And(read(g.Fanin0(id)), read(g.Fanin1(id)))
+	}
+	return tts[root], true
+}

@@ -1,0 +1,260 @@
+// Package exp is the experiment harness that regenerates the paper's
+// tables and figures. Its central trick is to pre-collect ground-truth
+// QoRs once per design (synthesis dominates runtime, as in the paper
+// where "collecting the training dataset takes most of the runtime") and
+// then replay the incremental training protocol for each optimizer /
+// kernel / activation under comparison, measuring the paper's accuracy
+// metric against the pre-collected sample pool after every retraining
+// round.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flowgen/internal/aig"
+	"flowgen/internal/core"
+	"flowgen/internal/flow"
+	"flowgen/internal/label"
+	"flowgen/internal/nn"
+	"flowgen/internal/opt"
+	"flowgen/internal/synth"
+	"flowgen/internal/tensor"
+	"flowgen/internal/train"
+)
+
+func tensorFrom(x []float64, h, w int) *tensor.Tensor {
+	return tensor.FromSlice(x, 1, h, w)
+}
+
+// Bundle is a pre-collected experiment dataset: labeled training flows
+// plus a ground-truth-labeled sample pool for accuracy measurement.
+type Bundle struct {
+	Space      flow.Space
+	Engine     *synth.Engine
+	Flows      []flow.Flow
+	QoRs       []synth.QoR
+	Pool       []flow.Flow
+	PoolQoRs   []synth.QoR
+	SynthTime  time.Duration // wall time spent synthesizing everything
+	PerFlowAvg time.Duration
+}
+
+// Collect evaluates trainN training flows and poolN disjoint sample
+// flows on the design.
+func Collect(design *aig.AIG, space flow.Space, trainN, poolN int, seed int64, progress func(done, total int)) (*Bundle, error) {
+	engine := synth.NewEngine(design, space)
+	rng := rand.New(rand.NewSource(seed))
+	all := space.RandomUnique(rng, trainN+poolN)
+	start := time.Now()
+	total := trainN + poolN
+	var wrap func(int)
+	if progress != nil {
+		wrap = func(done int) { progress(done, total) }
+	}
+	qors, err := engine.EvaluateAll(all, wrap)
+	if err != nil {
+		return nil, err
+	}
+	dur := time.Since(start)
+	return &Bundle{
+		Space:      space,
+		Engine:     engine,
+		Flows:      all[:trainN],
+		QoRs:       qors[:trainN],
+		Pool:       all[trainN:],
+		PoolQoRs:   qors[trainN:],
+		SynthTime:  dur,
+		PerFlowAvg: dur / time.Duration(total),
+	}, nil
+}
+
+// CurvePoint is one retraining round on an accuracy-over-time curve
+// (Figures 4, 5, 6 and 7 plot these).
+type CurvePoint struct {
+	Round    int
+	Labeled  int
+	Steps    int
+	Loss     float64
+	TrainAcc float64       // classifier accuracy on its training set
+	GenAcc   float64       // the paper's Section 4.1 metric on the pool
+	SimTime  time.Duration // simulated wall time: labeling + training
+}
+
+// RunConfig parameterizes one incremental replay.
+type RunConfig struct {
+	Metric         synth.Metric
+	Optimizer      string
+	LearnRate      float64
+	Arch           nn.ArchConfig
+	InitialLabeled int
+	RetrainEvery   int
+	StepsPerRound  int
+	NumOut         int
+	Seed           int64
+}
+
+// DefaultRunConfig mirrors the paper's protocol at harness scale.
+func DefaultRunConfig(space flow.Space, metric synth.Metric) RunConfig {
+	h, w := core.EncodeShape(space)
+	arch := nn.FastArch(len(label.DefaultPercentiles) + 1)
+	arch.InH, arch.InW = h, w
+	return RunConfig{
+		Metric:         metric,
+		Optimizer:      "RMSProp",
+		LearnRate:      1e-3,
+		Arch:           arch,
+		InitialLabeled: 100,
+		RetrainEvery:   50,
+		StepsPerRound:  300,
+		NumOut:         20,
+		Seed:           7,
+	}
+}
+
+// RunIncremental replays the paper's incremental protocol over the
+// pre-collected bundle: after each labeling increment the determinators
+// are refit, the CNN continues training, and the generated-flow accuracy
+// is measured against the pool's ground truth.
+func RunIncremental(b *Bundle, rc RunConfig) ([]CurvePoint, *nn.Network, *label.Model, error) {
+	net := rc.Arch.Build(rc.Seed)
+	optimizer, err := opt.ByName(rc.Optimizer, rc.LearnRate)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	trainer := train.NewTrainer(net, optimizer, rc.Seed+1)
+	h, w := rc.Arch.InH, rc.Arch.InW
+
+	var curve []CurvePoint
+	var model *label.Model
+	labeled, steps := 0, 0
+	var simTime time.Duration
+	for labeled < len(b.Flows) {
+		target := labeled + rc.RetrainEvery
+		if labeled == 0 {
+			target = rc.InitialLabeled
+		}
+		if target > len(b.Flows) {
+			target = len(b.Flows)
+		}
+		simTime += b.PerFlowAvg * time.Duration(target-labeled)
+		labeled = target
+
+		model, err = label.Fit(b.QoRs[:labeled], []synth.Metric{rc.Metric}, label.DefaultPercentiles)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ds := &train.Dataset{H: h, W: w, NumCl: model.NumClasses()}
+		for i := 0; i < labeled; i++ {
+			ds.Add(b.Flows[i].Encode(b.Space, h, w), model.Class(b.QoRs[i]))
+		}
+		trainer.SetData(ds)
+		tTrain := time.Now()
+		loss, err := trainer.Steps(rc.StepsPerRound)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		simTime += time.Since(tTrain)
+		steps += rc.StepsPerRound
+
+		curve = append(curve, CurvePoint{
+			Round:    len(curve) + 1,
+			Labeled:  labeled,
+			Steps:    steps,
+			Loss:     loss,
+			TrainAcc: train.Accuracy(net, ds),
+			GenAcc:   GeneratedAccuracy(b, net, model, rc, h, w),
+			SimTime:  simTime,
+		})
+	}
+	return curve, net, model, nil
+}
+
+// GeneratedAccuracy computes the paper's accuracy metric: predict the
+// pool, select NumOut angel and devil flows, and score them against the
+// pool's ground-truth classes under the current labeling model.
+func GeneratedAccuracy(b *Bundle, net *nn.Network, model *label.Model, rc RunConfig, h, w int) float64 {
+	preds := predictPool(b, net, h, w)
+	angels, devils := core.SelectFlows(preds, model.NumClasses(), rc.NumOut)
+	// Ground-truth class per pool index.
+	truth := make(map[string]int, len(b.Pool))
+	for i, f := range b.Pool {
+		truth[f.Key()] = model.Class(b.PoolQoRs[i])
+	}
+	top := model.NumClasses() - 1
+	correct, total := 0, 0
+	for _, a := range angels {
+		if truth[a.Flow.Key()] == 0 {
+			correct++
+		}
+		total++
+	}
+	for _, d := range devils {
+		if truth[d.Flow.Key()] == top {
+			correct++
+		}
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func predictPool(b *Bundle, net *nn.Network, h, w int) []core.ScoredFlow {
+	out := make([]core.ScoredFlow, len(b.Pool))
+	for i, f := range b.Pool {
+		x := f.Encode(b.Space, h, w)
+		probs := net.Predict(tensorFrom(x, h, w))
+		cls := train.Argmax(probs)
+		out[i] = core.ScoredFlow{Flow: f, Class: cls, Confidence: probs[cls], Probs: probs}
+	}
+	return out
+}
+
+// Selection returns the final angel/devil flows with their ground-truth
+// QoRs (for the Figure 8 scatter).
+type Selection struct {
+	AngelQoRs []synth.QoR
+	DevilQoRs []synth.QoR
+}
+
+// SelectWithTruth selects flows with the trained net and returns their
+// measured QoRs from the pool ground truth.
+func SelectWithTruth(b *Bundle, net *nn.Network, model *label.Model, rc RunConfig) Selection {
+	h, w := rc.Arch.InH, rc.Arch.InW
+	preds := predictPool(b, net, h, w)
+	angels, devils := core.SelectFlows(preds, model.NumClasses(), rc.NumOut)
+	byKey := make(map[string]synth.QoR, len(b.Pool))
+	for i, f := range b.Pool {
+		byKey[f.Key()] = b.PoolQoRs[i]
+	}
+	var sel Selection
+	for _, a := range angels {
+		sel.AngelQoRs = append(sel.AngelQoRs, byKey[a.Flow.Key()])
+	}
+	for _, d := range devils {
+		sel.DevilQoRs = append(sel.DevilQoRs, byKey[d.Flow.Key()])
+	}
+	return sel
+}
+
+// Metrics extracts a QoR component series.
+func Metrics(qors []synth.QoR, m synth.Metric) []float64 {
+	out := make([]float64, len(qors))
+	for i, q := range qors {
+		out[i] = q.Get(m)
+	}
+	return out
+}
+
+// FormatCurve renders a curve as CSV rows.
+func FormatCurve(name string, curve []CurvePoint) string {
+	s := fmt.Sprintf("# %s\nround,labeled,steps,loss,train_acc,gen_acc,sim_seconds\n", name)
+	for _, p := range curve {
+		s += fmt.Sprintf("%d,%d,%d,%.4f,%.4f,%.4f,%.1f\n",
+			p.Round, p.Labeled, p.Steps, p.Loss, p.TrainAcc, p.GenAcc, p.SimTime.Seconds())
+	}
+	return s
+}

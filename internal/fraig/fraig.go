@@ -1,0 +1,210 @@
+// Package fraig implements functional reduction of AIGs (Mishchenko et
+// al.'s FRAIG): random simulation partitions nodes into candidate
+// equivalence classes, SAT proves candidate pairs equivalent (up to
+// complement), and proven-equivalent nodes are merged. It is the classic
+// ABC combination of simulation and SAT on top of internal/sat, offered
+// here as an extension transformation beyond the paper's flow alphabet
+// (the paper's S is kept as published; fraig is registered separately).
+package fraig
+
+import (
+	"math/rand"
+
+	"flowgen/internal/aig"
+	"flowgen/internal/sat"
+)
+
+// Options tunes functional reduction.
+type Options struct {
+	SimWords     int   // random simulation words (default 8 = 512 patterns)
+	MaxConflicts int64 // SAT budget per candidate pair (default 1000)
+	Seed         int64
+}
+
+// Stats reports what a Reduce call did.
+type Stats struct {
+	Classes  int // non-trivial candidate classes
+	Proved   int // merges proven by SAT
+	Disprove int // candidates refuted (simulation aliasing)
+	Timeout  int // candidates skipped on conflict budget
+}
+
+// Reduce returns a functionally reduced copy of g along with merge
+// statistics. The result is functionally equivalent to the input (every
+// merge is SAT-proven).
+func Reduce(g *aig.AIG, opt Options) (*aig.AIG, Stats) {
+	if opt.SimWords == 0 {
+		opt.SimWords = 8
+	}
+	if opt.MaxConflicts == 0 {
+		opt.MaxConflicts = 1000
+	}
+	var st Stats
+
+	// Phase 1: random simulation signatures per node.
+	rng := rand.New(rand.NewSource(opt.Seed + 101))
+	pats := make([][]uint64, g.NumPIs())
+	for i := range pats {
+		p := make([]uint64, opt.SimWords)
+		for w := range p {
+			p[w] = rng.Uint64()
+		}
+		pats[i] = p
+	}
+	sigs := simulateAll(g, pats)
+
+	// Group live AND nodes by canonical signature (complement-normalized:
+	// the signature's LSB is forced to 0 by complementing).
+	type class struct{ members []int } // node ids in topo order
+	classes := map[string]*class{}
+	order := g.LiveAnds()
+	canon := func(id int) (string, bool) {
+		s := sigs[id]
+		neg := s[0]&1 == 1
+		key := make([]byte, 0, len(s)*8)
+		for _, w := range s {
+			if neg {
+				w = ^w
+			}
+			for b := 0; b < 8; b++ {
+				key = append(key, byte(w>>uint(8*b)))
+			}
+		}
+		return string(key), neg
+	}
+	for _, id := range order {
+		k, _ := canon(id)
+		c := classes[k]
+		if c == nil {
+			c = &class{}
+			classes[k] = c
+		}
+		c.members = append(c.members, id)
+	}
+
+	// Phase 2: SAT-prove candidate merges against the original graph.
+	s := sat.New()
+	s.MaxConflicts = 0 // budget applied per solve via conflict deltas
+	nodeVar := encode(s, g)
+	// merges[id] = literal (of another node, possibly complemented) this
+	// node merges into.
+	merges := map[int]aig.Lit{}
+	var solved int64
+	for _, id := range order {
+		k, negID := canon(id)
+		c := classes[k]
+		if len(c.members) < 2 {
+			continue
+		}
+		if c.members[0] == id {
+			continue // class representative
+		}
+		st.Classes++
+		rep := c.members[0]
+		_, negRep := canon(rep)
+		// Conjecture: id == rep ^ (negID != negRep).
+		phase := negID != negRep
+		x := s.NewVar()
+		xl := sat.MkLit(x, false)
+		la := sat.MkLit(nodeVar[id], false)
+		lb := sat.MkLit(nodeVar[rep], phase)
+		s.AddClause(xl.Not(), la, lb)
+		s.AddClause(xl.Not(), la.Not(), lb.Not())
+		s.AddClause(xl, la, lb.Not())
+		s.AddClause(xl, la.Not(), lb)
+		s.MaxConflicts = solved + opt.MaxConflicts
+		res := s.Solve(xl)
+		solved = s.Conflicts
+		switch res {
+		case sat.Unsat:
+			merges[id] = aig.MakeLit(rep, phase)
+			st.Proved++
+		case sat.Sat:
+			st.Disprove++
+		default:
+			st.Timeout++
+		}
+		s.AddClause(xl.Not())
+	}
+
+	// Phase 3: rebuild with merges applied. A merge target may itself be
+	// merged; resolve transitively.
+	var resolveMerge func(l aig.Lit) aig.Lit
+	resolveMerge = func(l aig.Lit) aig.Lit {
+		if m, ok := merges[l.Node()]; ok {
+			return resolveMerge(m).NotIf(l.IsNeg())
+		}
+		return l
+	}
+	ng := aig.New()
+	newLit := map[int]aig.Lit{0: aig.ConstFalse}
+	for i := 0; i < g.NumPIs(); i++ {
+		newLit[g.PI(i).Node()] = ng.AddInput(g.PIName(i))
+	}
+	mapLit := func(l aig.Lit) aig.Lit {
+		r := resolveMerge(l)
+		return newLit[r.Node()].NotIf(r.IsNeg())
+	}
+	for _, id := range order {
+		if _, merged := merges[id]; merged {
+			continue
+		}
+		newLit[id] = ng.And(mapLit(g.Fanin0(id)), mapLit(g.Fanin1(id)))
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		ng.AddOutput(mapLit(g.PO(i)), g.POName(i))
+	}
+	out := ng.Cleanup()
+	return out, st
+}
+
+// simulateAll computes per-node simulation words over the live graph.
+func simulateAll(g *aig.AIG, pats [][]uint64) map[int][]uint64 {
+	nw := len(pats[0])
+	sigs := map[int][]uint64{0: make([]uint64, nw)}
+	for i := 0; i < g.NumPIs(); i++ {
+		sigs[g.PI(i).Node()] = pats[i]
+	}
+	read := func(l aig.Lit) []uint64 {
+		v := sigs[l.Node()]
+		if !l.IsNeg() {
+			return v
+		}
+		out := make([]uint64, nw)
+		for i, w := range v {
+			out[i] = ^w
+		}
+		return out
+	}
+	g.ForEachLiveAnd(func(id int) {
+		a, b := read(g.Fanin0(id)), read(g.Fanin1(id))
+		out := make([]uint64, nw)
+		for i := range out {
+			out[i] = a[i] & b[i]
+		}
+		sigs[id] = out
+	})
+	return sigs
+}
+
+// encode Tseitin-encodes the live graph, returning node -> SAT variable.
+func encode(s *sat.Solver, g *aig.AIG) map[int]int {
+	nodeVar := map[int]int{}
+	cv := s.NewVar()
+	s.AddClause(sat.MkLit(cv, true))
+	nodeVar[0] = cv
+	for i := 0; i < g.NumPIs(); i++ {
+		nodeVar[g.PI(i).Node()] = s.NewVar()
+	}
+	g.ForEachLiveAnd(func(id int) {
+		out := s.NewVar()
+		nodeVar[id] = out
+		o := sat.MkLit(out, false)
+		a := sat.MkLit(nodeVar[g.Fanin0(id).Node()], g.Fanin0(id).IsNeg())
+		b := sat.MkLit(nodeVar[g.Fanin1(id).Node()], g.Fanin1(id).IsNeg())
+		s.AddClause(o.Not(), a)
+		s.AddClause(o.Not(), b)
+		s.AddClause(o, a.Not(), b.Not())
+	})
+	return nodeVar
+}

@@ -1,0 +1,116 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowgen/internal/synth"
+)
+
+func mkQoRs(n int, f func(i int) (area, delay float64)) []synth.QoR {
+	out := make([]synth.QoR, n)
+	for i := range out {
+		a, d := f(i)
+		out[i] = synth.QoR{Area: a, Delay: d}
+	}
+	return out
+}
+
+func TestFitSingleMetricTable1(t *testing.T) {
+	// 1000 samples with area = i+1: determinators must sit at the paper's
+	// percentiles; x0 ~ the 50th least value, x5 ~ the 50th largest.
+	qors := mkQoRs(1000, func(i int) (float64, float64) { return float64(i + 1), 0 })
+	m, err := FitSingle(qors, synth.MetricArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClasses() != 7 {
+		t.Fatalf("classes = %d, want 7", m.NumClasses())
+	}
+	ds := m.Determinators[0]
+	// 5% of 1..1000 is ~50, 95% is ~950 (within interpolation slack).
+	if ds[0] < 49 || ds[0] > 52 {
+		t.Fatalf("x0 = %v, want ~50", ds[0])
+	}
+	if ds[5] < 949 || ds[5] > 952 {
+		t.Fatalf("x5 = %v, want ~950", ds[5])
+	}
+	// Class boundaries behave per Table 1.
+	if c := m.Class(synth.QoR{Area: ds[0] - 1}); c != 0 {
+		t.Fatalf("below x0 -> class %d", c)
+	}
+	if c := m.Class(synth.QoR{Area: ds[0]}); c != 0 {
+		t.Fatalf("r <= x0 -> class %d, want 0", c)
+	}
+	if c := m.Class(synth.QoR{Area: ds[0] + 0.5}); c != 1 {
+		t.Fatalf("x0 < r <= x1 -> class %d, want 1", c)
+	}
+	if c := m.Class(synth.QoR{Area: ds[5] + 1}); c != 6 {
+		t.Fatalf("r > x5 -> class %d, want 6", c)
+	}
+}
+
+func TestClassPopulationsMatchPercentileGaps(t *testing.T) {
+	// With a continuous sample, class populations must approximate the
+	// percentile gaps: 5%, 10%, 25%, 25%, 25%, 5%, 5%.
+	rng := rand.New(rand.NewSource(1))
+	qors := mkQoRs(10000, func(i int) (float64, float64) { return rng.Float64() * 1000, 0 })
+	m, err := FitSingle(qors, synth.MetricArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Histogram(qors)
+	want := []float64{0.05, 0.10, 0.25, 0.25, 0.25, 0.05, 0.05}
+	for c, frac := range want {
+		got := float64(h[c]) / 10000
+		if got < frac-0.02 || got > frac+0.02 {
+			t.Fatalf("class %d population %.3f, want ~%.2f", c, got, frac)
+		}
+	}
+}
+
+func TestMultiMetricWorseBucketDominates(t *testing.T) {
+	qors := mkQoRs(1000, func(i int) (float64, float64) {
+		return float64(i + 1), float64(1000 - i)
+	})
+	m, err := Fit(qors, []synth.Metric{synth.MetricArea, synth.MetricDelay}, DefaultPercentiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best in area but worst in delay must not be class 0.
+	q := synth.QoR{Area: 1, Delay: 1000}
+	if c := m.Class(q); c != 6 {
+		t.Fatalf("class = %d, want 6 (worst metric dominates)", c)
+	}
+	// Best in both -> class 0.
+	q = synth.QoR{Area: 1, Delay: 1}
+	if c := m.Class(q); c != 0 {
+		t.Fatalf("class = %d, want 0", c)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitSingle(nil, synth.MetricArea); err == nil {
+		t.Fatal("expected error on empty fit")
+	}
+	qors := mkQoRs(10, func(i int) (float64, float64) { return float64(i), 0 })
+	if _, err := Fit(qors, nil, DefaultPercentiles); err == nil {
+		t.Fatal("expected error on no metrics")
+	}
+	if _, err := Fit(qors, []synth.Metric{synth.MetricArea}, []float64{50, 40}); err == nil {
+		t.Fatal("expected error on non-increasing percentiles")
+	}
+}
+
+func TestDynamicRefitShiftsDeterminators(t *testing.T) {
+	// Incremental collection: refitting on a grown dataset with new
+	// extremes must move the determinators (the paper's "definitions of
+	// classes may change dynamically").
+	first := mkQoRs(1000, func(i int) (float64, float64) { return 100 + float64(i%100), 0 })
+	m1, _ := FitSingle(first, synth.MetricArea)
+	grown := append(first, mkQoRs(500, func(i int) (float64, float64) { return 300 + float64(i%400), 0 })...)
+	m2, _ := FitSingle(grown, synth.MetricArea)
+	if m2.Determinators[0][5] <= m1.Determinators[0][5] {
+		t.Fatalf("x5 did not move up: %v -> %v", m1.Determinators[0][5], m2.Determinators[0][5])
+	}
+}

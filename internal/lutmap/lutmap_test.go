@@ -1,0 +1,136 @@
+package lutmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowgen/internal/aig"
+	"flowgen/internal/circuits"
+)
+
+func buildRandom(rng *rand.Rand, nin, nand int) *aig.AIG {
+	g := aig.New()
+	lits := make([]aig.Lit, 0, nin+nand)
+	for i := 0; i < nin; i++ {
+		lits = append(lits, g.AddInput("i"))
+	}
+	for i := 0; i < nand; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < 4 && i < len(lits); i++ {
+		g.AddOutput(lits[len(lits)-1-i].NotIf(i%2 == 1), "o")
+	}
+	g.RecomputeRefs()
+	return g
+}
+
+func TestSingleLUTForSmallFunction(t *testing.T) {
+	// Any function of <= k inputs fits one LUT.
+	g := aig.New()
+	a, b, c, d := g.AddInput("a"), g.AddInput("b"), g.AddInput("c"), g.AddInput("d")
+	f := g.Or(g.And(a, b), g.Xor(c, d))
+	g.AddOutput(f, "f")
+	q, _, err := Map(g, 4, DepthMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.LUTs != 1 || q.Depth != 1 {
+		t.Fatalf("4-input function: %+v, want 1 LUT depth 1", q)
+	}
+}
+
+func TestDepthModeBeatsOrMatchesAreaModeOnDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		g := buildRandom(rng, 8, 200)
+		qd, _, err := Map(g, 4, DepthMode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qa, _, err := Map(g, 4, AreaMode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qd.Depth > qa.Depth {
+			t.Fatalf("trial %d: depth mode deeper (%d) than area mode (%d)", trial, qd.Depth, qa.Depth)
+		}
+	}
+}
+
+func TestLargerKNeverDeeper(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := buildRandom(rng, 8, 200)
+	q4, _, err := Map(g, 4, DepthMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q6, _, err := Map(g, 6, DepthMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q6.Depth > q4.Depth {
+		t.Fatalf("k=6 deeper than k=4: %d vs %d", q6.Depth, q4.Depth)
+	}
+}
+
+func TestNetlistFunctionallyCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		g := buildRandom(rng, 6, 100)
+		for _, mode := range []Mode{DepthMode, AreaMode} {
+			_, nl, err := Map(g, 4, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for vec := 0; vec < 64; vec++ {
+				in := make([]bool, g.NumPIs())
+				piVals := map[int]bool{}
+				for i := range in {
+					in[i] = rng.Intn(2) == 1
+					piVals[g.PI(i).Node()] = in[i]
+				}
+				want := g.EvalUint(in)
+				got := nl.Simulate(piVals)
+				for o := range want {
+					if want[o] != got[o] {
+						t.Fatalf("trial %d mode %d output %d mismatch", trial, mode, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRealDesign(t *testing.T) {
+	g := circuits.ALU(8)
+	q, nl, err := Map(g, 4, DepthMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.LUTs == 0 || q.Depth == 0 {
+		t.Fatalf("degenerate cover %+v", q)
+	}
+	// LUT count must not exceed AND count (each LUT covers >= 1 node).
+	if q.LUTs > g.NumAnds() {
+		t.Fatalf("%d LUTs > %d ANDs", q.LUTs, g.NumAnds())
+	}
+	// Every LUT respects the input bound.
+	for _, l := range nl.LUTs {
+		if len(l.Inputs) > 4 {
+			t.Fatalf("LUT with %d inputs", len(l.Inputs))
+		}
+	}
+	t.Logf("alu8: %d LUTs, depth %d", q.LUTs, q.Depth)
+}
+
+func TestBadK(t *testing.T) {
+	g := circuits.ALU(8)
+	if _, _, err := Map(g, 1, DepthMode); err == nil {
+		t.Fatal("expected error for k=1")
+	}
+	if _, _, err := Map(g, 9, DepthMode); err == nil {
+		t.Fatal("expected error for k=9")
+	}
+}

@@ -1,0 +1,91 @@
+package nn
+
+import "math/rand"
+
+// ArchConfig describes a flow-classification CNN in the shape of the
+// paper's Figure 3: conv → pool → conv → pool → locally-connected →
+// dense → dropout → logits, over a 2-D one-hot flow image.
+type ArchConfig struct {
+	InH, InW   int        // input image size (paper: 12×12 reshaped 24×6)
+	KH, KW     int        // convolution kernel (paper sweeps 3×6, 6×6, 6×12)
+	Filters    int        // kernels per conv layer (paper: 200)
+	PoolStride int        // pooling stride (paper: 1)
+	LocalKH    int        // locally connected kernel (square)
+	LocalC     int        // locally connected output channels
+	DenseUnits int        // hidden dense width
+	Dropout    float64    // dropout rate (paper: 0.4)
+	Act        Activation // activation for conv/local/dense layers
+	NumClasses int
+}
+
+// PaperArch returns the exact architecture of Figure 3 with the paper's
+// best hyperparameters (6×12 kernels, 200 filters, SELU, dropout 0.4).
+// It is expensive on CPU; FastArch is the scaled default.
+func PaperArch(numClasses int) ArchConfig {
+	return ArchConfig{
+		InH: 12, InW: 12,
+		KH: 6, KW: 12,
+		Filters:    200,
+		PoolStride: 1,
+		LocalKH:    3, LocalC: 16,
+		DenseUnits: 128,
+		Dropout:    0.4,
+		Act:        SELU,
+		NumClasses: numClasses,
+	}
+}
+
+// FastArch returns a scaled-down configuration with the same topology,
+// sized for CPU-only experimentation (the shape comparisons of Figures
+// 4–7 are run at this scale unless overridden).
+func FastArch(numClasses int) ArchConfig {
+	return ArchConfig{
+		InH: 12, InW: 12,
+		KH: 3, KW: 6,
+		Filters:    8,
+		PoolStride: 2,
+		LocalKH:    2, LocalC: 8,
+		DenseUnits: 32,
+		Dropout:    0.4,
+		Act:        SELU,
+		NumClasses: numClasses,
+	}
+}
+
+// Build instantiates the network with deterministic initialization from
+// the seed.
+func (cfg ArchConfig) Build(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{}
+	add := func(l Layer) { n.Layers = append(n.Layers, l) }
+
+	h, w := cfg.InH, cfg.InW
+	add(NewConv2D(rng, 1, cfg.Filters, cfg.KH, cfg.KW))
+	add(NewActLayer(cfg.Act))
+	add(NewMaxPool2D(2, 2, cfg.PoolStride))
+	h = (h-2)/cfg.PoolStride + 1
+	w = (w-2)/cfg.PoolStride + 1
+	add(NewConv2D(rng, cfg.Filters, cfg.Filters, cfg.KH, cfg.KW))
+	add(NewActLayer(cfg.Act))
+	add(NewMaxPool2D(2, 2, cfg.PoolStride))
+	h = (h-2)/cfg.PoolStride + 1
+	w = (w-2)/cfg.PoolStride + 1
+
+	lk := cfg.LocalKH
+	if lk > h {
+		lk = h
+	}
+	if lk > w {
+		lk = w
+	}
+	add(NewLocallyConnected2D(rng, cfg.Filters, h, w, cfg.LocalC, lk, lk))
+	add(NewActLayer(cfg.Act))
+	h, w = h-lk+1, w-lk+1
+
+	add(&Flatten{})
+	add(NewDense(rng, cfg.LocalC*h*w, cfg.DenseUnits))
+	add(NewActLayer(cfg.Act))
+	add(NewDropout(rng, cfg.Dropout))
+	add(NewDense(rng, cfg.DenseUnits, cfg.NumClasses))
+	return n
+}

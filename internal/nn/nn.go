@@ -1,0 +1,522 @@
+// Package nn is a from-scratch convolutional neural network stack
+// replacing the TensorFlow r1.3 dependency of the paper: convolution,
+// max-pooling, locally connected and dense layers, dropout, the eight
+// activation functions of Figure 7, and sparse softmax cross-entropy.
+// Everything is float64 with explicit backpropagation, gradient-checked
+// in the tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flowgen/internal/tensor"
+)
+
+// Param is a learnable parameter block with its gradient accumulator.
+type Param struct {
+	Data []float64
+	Grad []float64
+}
+
+func newParam(n int) *Param {
+	return &Param{Data: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// Layer is a differentiable network stage. Forward must retain whatever
+// it needs for the following Backward call (single-sample pipelines).
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+	Name() string
+}
+
+// glorot initializes w uniformly in ±sqrt(6/(fanIn+fanOut)).
+func glorot(rng *rand.Rand, w []float64, fanIn, fanOut int) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// ---------------------------------------------------------------- Conv2D
+
+// Conv2D is a stride-1, same-padding 2-D convolution over CHW tensors.
+type Conv2D struct {
+	InC, OutC, KH, KW int
+	W, B              *Param
+	lastIn            *tensor.Tensor
+}
+
+// NewConv2D builds a convolution layer with Glorot initialization.
+func NewConv2D(rng *rand.Rand, inC, outC, kh, kw int) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, KH: kh, KW: kw,
+		W: newParam(outC * inC * kh * kw), B: newParam(outC)}
+	glorot(rng, c.W.Data, inC*kh*kw, outC*kh*kw)
+	return c
+}
+
+func (c *Conv2D) Name() string     { return fmt.Sprintf("conv%dx%dx%d", c.OutC, c.KH, c.KW) }
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+func (c *Conv2D) widx(oc, ic, ky, kx int) int {
+	return ((oc*c.InC+ic)*c.KH+ky)*c.KW + kx
+}
+
+// Forward computes the same-padded convolution.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	c.lastIn = x
+	h, w := x.Shape[1], x.Shape[2]
+	out := tensor.New(c.OutC, h, w)
+	padY, padX := (c.KH-1)/2, (c.KW-1)/2
+	for oc := 0; oc < c.OutC; oc++ {
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				sum := c.B.Data[oc]
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						iy := y + ky - padY
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.KW; kx++ {
+							ix := xx + kx - padX
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += c.W.Data[c.widx(oc, ic, ky, kx)] * x.At(ic, iy, ix)
+						}
+					}
+				}
+				out.Set(sum, oc, y, xx)
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates weight gradients and returns the input gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastIn
+	h, w := x.Shape[1], x.Shape[2]
+	dx := tensor.New(c.InC, h, w)
+	padY, padX := (c.KH-1)/2, (c.KW-1)/2
+	for oc := 0; oc < c.OutC; oc++ {
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				g := grad.At(oc, y, xx)
+				if g == 0 {
+					continue
+				}
+				c.B.Grad[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						iy := y + ky - padY
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.KW; kx++ {
+							ix := xx + kx - padX
+							if ix < 0 || ix >= w {
+								continue
+							}
+							wi := c.widx(oc, ic, ky, kx)
+							c.W.Grad[wi] += g * x.At(ic, iy, ix)
+							dx.Data[dx.Idx(ic, iy, ix)] += g * c.W.Data[wi]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// ------------------------------------------------------------- MaxPool2D
+
+// MaxPool2D is a valid-padding max pooling layer.
+type MaxPool2D struct {
+	KH, KW, Stride int
+	lastIn         *tensor.Tensor
+	argmax         []int // flat input index per output element
+	outShape       []int
+}
+
+// NewMaxPool2D builds a pooling layer (the paper uses 2×2 kernels; the
+// stride is 1 in the paper's architecture, 2 in the fast variant).
+func NewMaxPool2D(kh, kw, stride int) *MaxPool2D {
+	return &MaxPool2D{KH: kh, KW: kw, Stride: stride}
+}
+
+func (p *MaxPool2D) Name() string     { return fmt.Sprintf("maxpool%dx%ds%d", p.KH, p.KW, p.Stride) }
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward computes the pooled tensor.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	p.lastIn = x
+	ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := (h-p.KH)/p.Stride + 1
+	ow := (w-p.KW)/p.Stride + 1
+	out := tensor.New(ch, oh, ow)
+	p.argmax = make([]int, out.Size())
+	p.outShape = out.Shape
+	oi := 0
+	for c := 0; c < ch; c++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				best := math.Inf(-1)
+				bestIdx := -1
+				for ky := 0; ky < p.KH; ky++ {
+					for kx := 0; kx < p.KW; kx++ {
+						iy, ix := y*p.Stride+ky, xx*p.Stride+kx
+						idx := x.Idx(c, iy, ix)
+						if v := x.Data[idx]; v > best {
+							best = v
+							bestIdx = idx
+						}
+					}
+				}
+				out.Data[oi] = best
+				p.argmax[oi] = bestIdx
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.lastIn.Shape...)
+	for oi, ii := range p.argmax {
+		dx.Data[ii] += grad.Data[oi]
+	}
+	return dx
+}
+
+// ----------------------------------------------------- LocallyConnected2D
+
+// LocallyConnected2D is a convolution-like layer with untied weights per
+// output position (TensorFlow's "locally connected" layer used in the
+// paper's architecture). Valid padding, stride 1.
+type LocallyConnected2D struct {
+	InC, OutC, KH, KW int
+	OH, OW            int
+	W, B              *Param
+	lastIn            *tensor.Tensor
+}
+
+// NewLocallyConnected2D builds the layer for a fixed input size.
+func NewLocallyConnected2D(rng *rand.Rand, inC, inH, inW, outC, kh, kw int) *LocallyConnected2D {
+	oh, ow := inH-kh+1, inW-kw+1
+	if oh < 1 || ow < 1 {
+		panic("nn: locally connected kernel larger than input")
+	}
+	l := &LocallyConnected2D{InC: inC, OutC: outC, KH: kh, KW: kw, OH: oh, OW: ow,
+		W: newParam(oh * ow * outC * inC * kh * kw), B: newParam(oh * ow * outC)}
+	glorot(rng, l.W.Data, inC*kh*kw, outC)
+	return l
+}
+
+func (l *LocallyConnected2D) Name() string {
+	return fmt.Sprintf("local%dx%dx%d", l.OutC, l.KH, l.KW)
+}
+func (l *LocallyConnected2D) Params() []*Param { return []*Param{l.W, l.B} }
+
+func (l *LocallyConnected2D) widx(y, x, oc, ic, ky, kx int) int {
+	return ((((y*l.OW+x)*l.OutC+oc)*l.InC+ic)*l.KH+ky)*l.KW + kx
+}
+
+// Forward computes the locally connected response.
+func (l *LocallyConnected2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.lastIn = x
+	out := tensor.New(l.OutC, l.OH, l.OW)
+	for y := 0; y < l.OH; y++ {
+		for xx := 0; xx < l.OW; xx++ {
+			for oc := 0; oc < l.OutC; oc++ {
+				sum := l.B.Data[(y*l.OW+xx)*l.OutC+oc]
+				for ic := 0; ic < l.InC; ic++ {
+					for ky := 0; ky < l.KH; ky++ {
+						for kx := 0; kx < l.KW; kx++ {
+							sum += l.W.Data[l.widx(y, xx, oc, ic, ky, kx)] * x.At(ic, y+ky, xx+kx)
+						}
+					}
+				}
+				out.Set(sum, oc, y, xx)
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates untied weight gradients.
+func (l *LocallyConnected2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := l.lastIn
+	dx := tensor.New(x.Shape...)
+	for y := 0; y < l.OH; y++ {
+		for xx := 0; xx < l.OW; xx++ {
+			for oc := 0; oc < l.OutC; oc++ {
+				g := grad.At(oc, y, xx)
+				if g == 0 {
+					continue
+				}
+				l.B.Grad[(y*l.OW+xx)*l.OutC+oc] += g
+				for ic := 0; ic < l.InC; ic++ {
+					for ky := 0; ky < l.KH; ky++ {
+						for kx := 0; kx < l.KW; kx++ {
+							wi := l.widx(y, xx, oc, ic, ky, kx)
+							l.W.Grad[wi] += g * x.At(ic, y+ky, xx+kx)
+							dx.Data[dx.Idx(ic, y+ky, xx+kx)] += g * l.W.Data[wi]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// ----------------------------------------------------------------- Dense
+
+// Dense is a fully connected layer over flattened inputs.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	lastIn  *tensor.Tensor
+}
+
+// NewDense builds a fully connected layer.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{In: in, Out: out, W: newParam(in * out), B: newParam(out)}
+	glorot(rng, d.W.Data, in, out)
+	return d
+}
+
+func (d *Dense) Name() string     { return fmt.Sprintf("dense%d", d.Out) }
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward computes Wx+b over the flattened input.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Size() != d.In {
+		panic(fmt.Sprintf("nn: dense expects %d inputs, got %v", d.In, x.Shape))
+	}
+	d.lastIn = x
+	out := tensor.New(d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B.Data[o]
+		row := d.W.Data[o*d.In : (o+1)*d.In]
+		for i, xv := range x.Data {
+			sum += row[i] * xv
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+// Backward accumulates gradients and returns dL/dx with the input's shape.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(d.lastIn.Shape...)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		if g == 0 {
+			continue
+		}
+		d.B.Grad[o] += g
+		row := d.W.Data[o*d.In : (o+1)*d.In]
+		growRow := d.W.Grad[o*d.In : (o+1)*d.In]
+		for i, xv := range d.lastIn.Data {
+			growRow[i] += g * xv
+			dx.Data[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// --------------------------------------------------------------- Dropout
+
+// Dropout randomly zeroes activations during training with the given
+// rate, scaling survivors by 1/(1-rate) (inverted dropout); inference is
+// the identity. The paper uses rate 0.4.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout builds a dropout layer with its own deterministic stream.
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(rng.Int63()))}
+}
+
+func (d *Dropout) Name() string     { return fmt.Sprintf("dropout%.1f", d.Rate) }
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward applies the mask in training mode.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	out := tensor.New(x.Shape...)
+	d.mask = make([]float64, x.Size())
+	scale := 1 / (1 - d.Rate)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.Rate {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward applies the stored mask.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		dx.Data[i] = g * d.mask[i]
+	}
+	return dx
+}
+
+// --------------------------------------------------------------- Flatten
+
+// Flatten reshapes to a vector.
+type Flatten struct{ lastShape []int }
+
+func (f *Flatten) Name() string     { return "flatten" }
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward flattens the tensor.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.lastShape = x.Shape
+	return x.Reshape(x.Size())
+}
+
+// Backward restores the stored shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.lastShape...)
+}
+
+// -------------------------------------------------------------- ActLayer
+
+// ActLayer applies a pointwise activation.
+type ActLayer struct {
+	Act    Activation
+	lastIn *tensor.Tensor
+}
+
+// NewActLayer wraps an activation function as a layer.
+func NewActLayer(a Activation) *ActLayer { return &ActLayer{Act: a} }
+
+func (a *ActLayer) Name() string     { return a.Act.String() }
+func (a *ActLayer) Params() []*Param { return nil }
+
+// Forward applies the activation.
+func (a *ActLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	a.lastIn = x
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = a.Act.Apply(v)
+	}
+	return out
+}
+
+// Backward multiplies by the activation derivative.
+func (a *ActLayer) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		dx.Data[i] = g * a.Act.Deriv(a.lastIn.Data[i])
+	}
+	return dx
+}
+
+// --------------------------------------------------------------- Network
+
+// Network is a sequential stack of layers ending in class logits.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs all layers.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through all layers, accumulating
+// parameter gradients.
+func (n *Network) Backward(grad *tensor.Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// Params collects all learnable parameters.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Data)
+	}
+	return total
+}
+
+// ZeroGrads clears all gradient accumulators.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// Softmax converts logits to probabilities (numerically stable).
+func Softmax(logits []float64) []float64 {
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SparseSoftmaxCE computes the sparse softmax cross-entropy loss and the
+// gradient with respect to the logits (the paper's loss function).
+func SparseSoftmaxCE(logits []float64, label int) (float64, []float64) {
+	p := Softmax(logits)
+	grad := make([]float64, len(logits))
+	copy(grad, p)
+	grad[label] -= 1
+	const eps = 1e-12
+	return -math.Log(p[label] + eps), grad
+}
+
+// Predict returns class probabilities for one input.
+func (n *Network) Predict(x *tensor.Tensor) []float64 {
+	return Softmax(n.Forward(x, false).Data)
+}

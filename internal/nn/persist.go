@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the serialized form of a network's learnable state. The
+// architecture itself is not serialized — callers rebuild it from its
+// ArchConfig (deterministic given the seed) and load weights into it,
+// which keeps the format small and forward-compatible with architecture
+// code changes.
+type snapshot struct {
+	Blocks [][]float64
+}
+
+// SaveWeights writes all parameter blocks of the network.
+func (n *Network) SaveWeights(w io.Writer) error {
+	var s snapshot
+	for _, p := range n.Params() {
+		block := make([]float64, len(p.Data))
+		copy(block, p.Data)
+		s.Blocks = append(s.Blocks, block)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// LoadWeights restores parameter blocks previously written by
+// SaveWeights into a structurally identical network.
+func (n *Network) LoadWeights(r io.Reader) error {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("nn: decoding weights: %w", err)
+	}
+	params := n.Params()
+	if len(s.Blocks) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d parameter blocks, network has %d",
+			len(s.Blocks), len(params))
+	}
+	for i, p := range params {
+		if len(s.Blocks[i]) != len(p.Data) {
+			return fmt.Errorf("nn: block %d has %d weights, layer expects %d",
+				i, len(s.Blocks[i]), len(p.Data))
+		}
+		copy(p.Data, s.Blocks[i])
+	}
+	return nil
+}

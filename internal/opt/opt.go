@@ -1,0 +1,182 @@
+// Package opt implements the five gradient-descent algorithms compared in
+// Figures 4 and 5 of the paper: SGD, Momentum, AdaGrad, RMSProp and FTRL
+// (follow-the-regularized-leader). Each optimizer keeps per-parameter
+// state keyed by the parameter block identity.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"flowgen/internal/nn"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*nn.Param)
+	Name() string
+}
+
+// Names lists the optimizers in the paper's figure order.
+var Names = []string{"SGD", "Momentum", "AdaGrad", "RMSProp", "Ftrl"}
+
+// ByName constructs an optimizer with the given learning rate (the paper
+// uses η = 1e-4 for all of them).
+func ByName(name string, lr float64) (Optimizer, error) {
+	switch name {
+	case "SGD":
+		return &SGD{LR: lr}, nil
+	case "Momentum":
+		return &Momentum{LR: lr, Mu: 0.9}, nil
+	case "AdaGrad":
+		return &AdaGrad{LR: lr, Eps: 1e-8}, nil
+	case "RMSProp":
+		return &RMSProp{LR: lr, Decay: 0.9, Eps: 1e-10}, nil
+	case "Ftrl":
+		return &FTRL{Alpha: lr, Beta: 1, L1: 0, L2: 0}, nil
+	}
+	return nil, fmt.Errorf("opt: unknown optimizer %q", name)
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct{ LR float64 }
+
+// Name returns "SGD".
+func (o *SGD) Name() string { return "SGD" }
+
+// Step applies w -= lr*g.
+func (o *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		for i, g := range p.Grad {
+			p.Data[i] -= o.LR * g
+		}
+	}
+}
+
+// Momentum is classical momentum (Qian).
+type Momentum struct {
+	LR, Mu float64
+	vel    map[*nn.Param][]float64
+}
+
+// Name returns "Momentum".
+func (o *Momentum) Name() string { return "Momentum" }
+
+// Step applies v = mu*v + g; w -= lr*v.
+func (o *Momentum) Step(params []*nn.Param) {
+	if o.vel == nil {
+		o.vel = map[*nn.Param][]float64{}
+	}
+	for _, p := range params {
+		v := o.vel[p]
+		if v == nil {
+			v = make([]float64, len(p.Data))
+			o.vel[p] = v
+		}
+		for i, g := range p.Grad {
+			v[i] = o.Mu*v[i] + g
+			p.Data[i] -= o.LR * v[i]
+		}
+	}
+}
+
+// AdaGrad is the adaptive subgradient method (Duchi et al.).
+type AdaGrad struct {
+	LR, Eps float64
+	acc     map[*nn.Param][]float64
+}
+
+// Name returns "AdaGrad".
+func (o *AdaGrad) Name() string { return "AdaGrad" }
+
+// Step applies acc += g²; w -= lr*g/sqrt(acc+eps).
+func (o *AdaGrad) Step(params []*nn.Param) {
+	if o.acc == nil {
+		o.acc = map[*nn.Param][]float64{}
+	}
+	for _, p := range params {
+		a := o.acc[p]
+		if a == nil {
+			a = make([]float64, len(p.Data))
+			o.acc[p] = a
+		}
+		for i, g := range p.Grad {
+			a[i] += g * g
+			p.Data[i] -= o.LR * g / math.Sqrt(a[i]+o.Eps)
+		}
+	}
+}
+
+// RMSProp divides the gradient by a running average of its magnitude
+// (Tieleman & Hinton) — the best performer in the paper's experiments.
+type RMSProp struct {
+	LR, Decay, Eps float64
+	ms             map[*nn.Param][]float64
+}
+
+// Name returns "RMSProp".
+func (o *RMSProp) Name() string { return "RMSProp" }
+
+// Step applies ms = d*ms + (1-d)*g²; w -= lr*g/sqrt(ms+eps).
+func (o *RMSProp) Step(params []*nn.Param) {
+	if o.ms == nil {
+		o.ms = map[*nn.Param][]float64{}
+	}
+	for _, p := range params {
+		m := o.ms[p]
+		if m == nil {
+			m = make([]float64, len(p.Data))
+			o.ms[p] = m
+		}
+		for i, g := range p.Grad {
+			m[i] = o.Decay*m[i] + (1-o.Decay)*g*g
+			p.Data[i] -= o.LR * g / math.Sqrt(m[i]+o.Eps)
+		}
+	}
+}
+
+// FTRL is follow-the-regularized-leader proximal (McMahan et al.,
+// "Ad click prediction: a view from the trenches").
+type FTRL struct {
+	Alpha, Beta, L1, L2 float64
+	z, n                map[*nn.Param][]float64
+}
+
+// Name returns "Ftrl".
+func (o *FTRL) Name() string { return "Ftrl" }
+
+// Step applies the FTRL-proximal update.
+func (o *FTRL) Step(params []*nn.Param) {
+	if o.z == nil {
+		o.z = map[*nn.Param][]float64{}
+		o.n = map[*nn.Param][]float64{}
+	}
+	for _, p := range params {
+		z, n := o.z[p], o.n[p]
+		if z == nil {
+			z = make([]float64, len(p.Data))
+			n = make([]float64, len(p.Data))
+			// Initialize z so that the current weights are reproduced at
+			// n=0 (otherwise the first step snaps weights toward zero).
+			for i, w := range p.Data {
+				z[i] = -w * o.Beta / o.Alpha
+			}
+			o.z[p] = z
+			o.n[p] = n
+		}
+		for i, g := range p.Grad {
+			sigma := (math.Sqrt(n[i]+g*g) - math.Sqrt(n[i])) / o.Alpha
+			z[i] += g - sigma*p.Data[i]
+			n[i] += g * g
+			if math.Abs(z[i]) <= o.L1 {
+				p.Data[i] = 0
+			} else {
+				sign := 1.0
+				if z[i] < 0 {
+					sign = -1
+				}
+				p.Data[i] = -(z[i] - sign*o.L1) / ((o.Beta+math.Sqrt(n[i]))/o.Alpha + o.L2)
+			}
+		}
+	}
+}

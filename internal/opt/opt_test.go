@@ -1,0 +1,114 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"flowgen/internal/nn"
+)
+
+// quadLoss is f(w) = 0.5*Σ(w-target)²; gradient w-target.
+func quadStep(o Optimizer, p *nn.Param, target []float64) float64 {
+	loss := 0.0
+	for i := range p.Data {
+		d := p.Data[i] - target[i]
+		p.Grad[i] = d
+		loss += 0.5 * d * d
+	}
+	o.Step([]*nn.Param{p})
+	return loss
+}
+
+func TestAllOptimizersConvergeOnQuadratic(t *testing.T) {
+	target := []float64{1, -2, 3}
+	for _, name := range Names {
+		o, err := ByName(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &nn.Param{Data: make([]float64, 3), Grad: make([]float64, 3)}
+		var last float64
+		for step := 0; step < 3000; step++ {
+			last = quadStep(o, p, target)
+		}
+		if last > 0.05 {
+			t.Fatalf("%s did not converge: final loss %v (w=%v)", name, last, p.Data)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("Adam", 0.1); err == nil {
+		t.Fatal("expected error for unsupported optimizer")
+	}
+	for _, n := range Names {
+		o, err := ByName(n, 1e-4)
+		if err != nil || o.Name() != n {
+			t.Fatalf("%s: %v (name %q)", n, err, o.Name())
+		}
+	}
+}
+
+func TestSGDExactStep(t *testing.T) {
+	o := &SGD{LR: 0.1}
+	p := &nn.Param{Data: []float64{1}, Grad: []float64{2}}
+	o.Step([]*nn.Param{p})
+	if math.Abs(p.Data[0]-0.8) > 1e-12 {
+		t.Fatalf("w = %v, want 0.8", p.Data[0])
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	o := &Momentum{LR: 0.1, Mu: 0.9}
+	p := &nn.Param{Data: []float64{0}, Grad: []float64{1}}
+	o.Step([]*nn.Param{p}) // v=1, w=-0.1
+	o.Step([]*nn.Param{p}) // v=1.9, w=-0.29
+	if math.Abs(p.Data[0]+0.29) > 1e-12 {
+		t.Fatalf("w = %v, want -0.29", p.Data[0])
+	}
+}
+
+func TestAdaGradShrinksStep(t *testing.T) {
+	o := &AdaGrad{LR: 1, Eps: 0}
+	p := &nn.Param{Data: []float64{0}, Grad: []float64{1}}
+	o.Step([]*nn.Param{p}) // step 1: w -= 1/sqrt(1)
+	first := -p.Data[0]
+	p.Grad[0] = 1
+	o.Step([]*nn.Param{p}) // step 2: w -= 1/sqrt(2)
+	second := -p.Data[0] - first
+	if second >= first {
+		t.Fatalf("AdaGrad steps must shrink: %v then %v", first, second)
+	}
+}
+
+func TestFTRLZeroGradPreservesWeights(t *testing.T) {
+	// FTRL initialization must reproduce existing weights under zero
+	// gradient (no snap to zero).
+	o, _ := ByName("Ftrl", 0.1)
+	p := &nn.Param{Data: []float64{0.7, -0.3}, Grad: []float64{0, 0}}
+	o.Step([]*nn.Param{p})
+	if math.Abs(p.Data[0]-0.7) > 1e-9 || math.Abs(p.Data[1]+0.3) > 1e-9 {
+		t.Fatalf("weights moved under zero gradient: %v", p.Data)
+	}
+}
+
+func TestFTRLL1SparsifiesSmallWeights(t *testing.T) {
+	o := &FTRL{Alpha: 0.1, Beta: 1, L1: 100, L2: 0}
+	p := &nn.Param{Data: []float64{0.01}, Grad: []float64{0.1}}
+	o.Step([]*nn.Param{p})
+	if p.Data[0] != 0 {
+		t.Fatalf("strong L1 should zero the weight, got %v", p.Data[0])
+	}
+}
+
+func TestOptimizersKeepSeparateStatePerParam(t *testing.T) {
+	o := &RMSProp{LR: 0.1, Decay: 0.9, Eps: 1e-10}
+	p1 := &nn.Param{Data: []float64{0}, Grad: []float64{1}}
+	p2 := &nn.Param{Data: []float64{0}, Grad: []float64{100}}
+	o.Step([]*nn.Param{p1, p2})
+	// RMSProp normalizes by gradient magnitude, so both should move by
+	// roughly lr/sqrt(1-decay) regardless of scale.
+	if math.Abs(math.Abs(p1.Data[0])-math.Abs(p2.Data[0])) > 1e-6 {
+		t.Fatalf("RMSProp steps should be scale-normalized: %v vs %v", p1.Data[0], p2.Data[0])
+	}
+}

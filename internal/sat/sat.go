@@ -1,0 +1,378 @@
+// Package sat implements a small CDCL (conflict-driven clause learning)
+// SAT solver: two-watched-literal propagation, first-UIP learning,
+// activity-based branching and non-chronological backjumping. It is the
+// proof engine behind combinational equivalence checking
+// (internal/cec), playing the role of MiniSat inside ABC.
+package sat
+
+// Lit is a literal: variable index shifted left with the sign in the LSB
+// (even = positive, odd = negated).
+type Lit int32
+
+// MkLit builds a literal from a variable and sign.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct
+// with New.
+type Solver struct {
+	clauses  []*clause
+	watches  [][]*clause // literal -> clauses watching it
+	assign   []lbool     // variable -> value
+	level    []int32     // variable -> decision level
+	reason   []*clause   // variable -> implying clause
+	activity []float64
+	trail    []Lit
+	trailLim []int // decision level -> trail index
+	propHead int
+	varInc   float64
+	model    []bool // snapshot of the last satisfying assignment
+
+	// Statistics.
+	Conflicts, Decisions, Propagations int64
+
+	// MaxConflicts bounds the search (0 = unlimited); exceeded searches
+	// return Unknown.
+	MaxConflicts int64
+}
+
+// Result is the outcome of Solve.
+type Result int
+
+// Solve outcomes.
+const (
+	Unsat Result = iota
+	Sat
+	Unknown
+)
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1}
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	return v
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a clause; it returns false if the formula became
+// trivially unsatisfiable. Must be called before Solve, at decision
+// level 0.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	// Simplify: drop false literals, detect satisfied/duplicate.
+	seen := map[Lit]bool{}
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		switch {
+		case s.value(l) == lTrue || seen[l.Not()]:
+			return true // already satisfied / tautology
+		case s.value(l) == lFalse || seen[l]:
+			continue
+		default:
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return false
+	case 1:
+		if s.value(out[0]) == lFalse {
+			return false
+		}
+		s.enqueue(out[0], nil)
+		return s.propagate() == nil
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	// Watch the first two literals.
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate performs unit propagation; returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.propHead < len(s.trail) {
+		p := s.trail[s.propHead]
+		s.propHead++
+		s.Propagations++
+		ws := s.watches[p]
+		s.watches[p] = ws[:0:0] // replaced below
+		kept := s.watches[p]
+		for ci := 0; ci < len(ws); ci++ {
+			c := ws[ci]
+			// Ensure c.lits[1] is the false literal (p.Not()).
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflicting.
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				// Conflict: restore remaining watchers and report.
+				kept = append(kept, ws[ci+1:]...)
+				s.watches[p] = kept
+				s.propHead = len(s.trail)
+				return c
+			}
+			s.enqueue(c.lits[0], c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze computes a first-UIP learned clause and backjump level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learned := []Lit{0} // slot 0 for the asserting literal
+	seen := make([]bool, s.NumVars())
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bumpVar(v)
+				if int(s.level[v]) == s.decisionLevel() {
+					counter++
+				} else {
+					learned = append(learned, q)
+				}
+			}
+		}
+		// Pick the next literal on the trail that is marked.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		seen[v] = false
+		counter--
+		if counter == 0 {
+			learned[0] = p.Not()
+			break
+		}
+		confl = s.reason[v]
+	}
+
+	// Backjump level: second-highest level in the clause.
+	bj := 0
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].Var()]) > bj {
+			bj = int(s.level[learned[i].Var()])
+		}
+	}
+	// Move a literal of the backjump level to position 1 (watch order).
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].Var()]) == bj {
+			learned[1], learned[i] = learned[i], learned[1]
+			break
+		}
+	}
+	return learned, bj
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.propHead = len(s.trail)
+}
+
+func (s *Solver) pickBranch() Lit {
+	best, bestAct := -1, -1.0
+	for v := 0; v < s.NumVars(); v++ {
+		if s.assign[v] == lUndef && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	return MkLit(best, true) // negative polarity first (MiniSat default)
+}
+
+// Solve searches for a satisfying assignment under the given
+// assumptions. The solver can be reused across calls; learned clauses
+// persist.
+func (s *Solver) Solve(assumptions ...Lit) Result {
+	if s.propagate() != nil {
+		return Unsat
+	}
+	defer s.cancelUntil(0)
+
+	// Apply assumptions as pseudo-decisions.
+	for _, a := range assumptions {
+		switch s.value(a) {
+		case lTrue:
+			continue
+		case lFalse:
+			return Unsat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(a, nil)
+		if s.propagate() != nil {
+			return Unsat
+		}
+	}
+	rootLevel := s.decisionLevel()
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			if s.MaxConflicts > 0 && s.Conflicts > s.MaxConflicts {
+				return Unknown
+			}
+			if s.decisionLevel() <= rootLevel {
+				return Unsat
+			}
+			learned, bj := s.analyze(confl)
+			if bj < rootLevel {
+				bj = rootLevel
+			}
+			s.cancelUntil(bj)
+			if len(learned) == 1 {
+				s.enqueue(learned[0], nil)
+			} else {
+				c := &clause{lits: learned, learned: true}
+				s.clauses = append(s.clauses, c)
+				s.watch(c)
+				s.enqueue(learned[0], c)
+			}
+			s.varInc *= 1.05
+			continue
+		}
+		l := s.pickBranch()
+		if l < 0 {
+			// All variables assigned: snapshot the model before the
+			// deferred unwind clears the trail.
+			s.model = make([]bool, s.NumVars())
+			for v := range s.model {
+				s.model[v] = s.assign[v] == lTrue
+			}
+			return Sat
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(l, nil)
+	}
+}
+
+// Model returns the satisfying assignment captured by the last Solve
+// call that returned Sat.
+func (s *Solver) Model() []bool {
+	return append([]bool(nil), s.model...)
+}

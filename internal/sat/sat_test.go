@@ -1,0 +1,246 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(MkLit(a, false)) {
+		t.Fatal("unit clause rejected")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("single unit must be SAT")
+	}
+	if !s.Model()[a] {
+		t.Fatal("model wrong")
+	}
+	if !s.AddClause(MkLit(a, true)) {
+		// AddClause may detect the conflict immediately...
+		return
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("a & !a must be UNSAT")
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	s := New()
+	vars := make([]int, 10)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// v0 -> v1 -> ... -> v9, v0 asserted, !v9 asserted: UNSAT.
+	for i := 0; i+1 < len(vars); i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+	}
+	s.AddClause(MkLit(vars[0], false))
+	if s.Solve(MkLit(vars[9], true)) != Unsat {
+		t.Fatal("chain with contradiction must be UNSAT")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("chain alone must be SAT")
+	}
+	m := s.Model()
+	for _, v := range vars {
+		if !m[v] {
+			t.Fatal("all chain variables must be true")
+		}
+	}
+}
+
+func TestPigeonhole3x2(t *testing.T) {
+	// 3 pigeons, 2 holes: classic small UNSAT instance requiring real
+	// conflict analysis.
+	s := New()
+	x := [3][2]int{}
+	for p := 0; p < 3; p++ {
+		for h := 0; h < 2; h++ {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < 3; p++ {
+		s.AddClause(MkLit(x[p][0], false), MkLit(x[p][1], false))
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				s.AddClause(MkLit(x[p1][h], true), MkLit(x[p2][h], true))
+			}
+		}
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(3,2) must be UNSAT")
+	}
+}
+
+func TestAssumptionsReusable(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // a | b
+	if s.Solve(MkLit(a, true)) != Sat {           // assume !a -> b must hold
+		t.Fatal("should be SAT under !a")
+	}
+	if !s.Model()[b] {
+		t.Fatal("b must be true under !a")
+	}
+	if s.Solve(MkLit(a, true), MkLit(b, true)) != Unsat {
+		t.Fatal("!a & !b contradicts a|b")
+	}
+	// Solver must remain usable after UNSAT-under-assumptions.
+	if s.Solve() != Sat {
+		t.Fatal("formula itself is SAT")
+	}
+}
+
+// randomCNF generates a random 3-SAT instance.
+func randomCNF(rng *rand.Rand, nvars, nclauses int) [][]Lit {
+	cls := make([][]Lit, nclauses)
+	for i := range cls {
+		seen := map[int]bool{}
+		var c []Lit
+		for len(c) < 3 {
+			v := rng.Intn(nvars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			c = append(c, MkLit(v, rng.Intn(2) == 1))
+		}
+		cls[i] = c
+	}
+	return cls
+}
+
+// bruteForce checks satisfiability exhaustively.
+func bruteForce(nvars int, cls [][]Lit) bool {
+	for m := 0; m < 1<<uint(nvars); m++ {
+		ok := true
+		for _, c := range cls {
+			sat := false
+			for _, l := range c {
+				v := m&(1<<uint(l.Var())) != 0
+				if v != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nvars := 4 + rng.Intn(6)
+		ncls := 5 + rng.Intn(30)
+		cls := randomCNF(rng, nvars, ncls)
+		s := New()
+		for i := 0; i < nvars; i++ {
+			s.NewVar()
+		}
+		formulaOK := true
+		for _, c := range cls {
+			if !s.AddClause(c...) {
+				formulaOK = false
+				break
+			}
+		}
+		want := bruteForce(nvars, cls)
+		if !formulaOK {
+			if want {
+				t.Fatalf("trial %d: AddClause says UNSAT but brute force says SAT", trial)
+			}
+			continue
+		}
+		got := s.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver %v, brute force %v", trial, got, want)
+		}
+		if got == Sat {
+			// The model must actually satisfy the formula.
+			m := s.Model()
+			for _, c := range cls {
+				sat := false
+				for _, l := range c {
+					if m[l.Var()] != l.Neg() {
+						sat = true
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model does not satisfy clause", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestConflictLimit(t *testing.T) {
+	// A hard instance with a tiny conflict budget must return Unknown.
+	s := New()
+	const n = 5
+	x := [n][n - 1]int{}
+	for p := 0; p < n; p++ {
+		for h := 0; h < n-1; h++ {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < n; p++ {
+		lits := make([]Lit, n-1)
+		for h := 0; h < n-1; h++ {
+			lits[h] = MkLit(x[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n-1; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				s.AddClause(MkLit(x[p1][h], true), MkLit(x[p2][h], true))
+			}
+		}
+	}
+	s.MaxConflicts = 3
+	if got := s.Solve(); got != Unknown && got != Unsat {
+		t.Fatalf("expected Unknown (or fast Unsat), got %v", got)
+	}
+}
+
+func BenchmarkSolvePHP54(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		const n = 5
+		x := [n][n - 1]int{}
+		for p := 0; p < n; p++ {
+			for h := 0; h < n-1; h++ {
+				x[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p < n; p++ {
+			lits := make([]Lit, n-1)
+			for h := 0; h < n-1; h++ {
+				lits[h] = MkLit(x[p][h], false)
+			}
+			s.AddClause(lits...)
+		}
+		for h := 0; h < n-1; h++ {
+			for p1 := 0; p1 < n; p1++ {
+				for p2 := p1 + 1; p2 < n; p2++ {
+					s.AddClause(MkLit(x[p1][h], true), MkLit(x[p2][h], true))
+				}
+			}
+		}
+		if s.Solve() != Unsat {
+			b.Fatal("PHP(5,4) must be UNSAT")
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package sop implements two-level (sum-of-products) logic manipulation:
+// irredundant SOP extraction from truth tables via the Minato–Morreale
+// algorithm, algebraic (literal) factoring, and construction of factored
+// forms into AIGs. It is the resynthesis core used by the refactor,
+// restructure and rewrite transformations, standing in for the SIS/ABC
+// factoring machinery.
+package sop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flowgen/internal/aig"
+	"flowgen/internal/bitvec"
+)
+
+// Cube is a product term over up to 32 variables: Pos bit i means literal
+// x_i appears positively, Neg bit i means it appears negated. A variable
+// may not appear in both masks.
+type Cube struct {
+	Pos, Neg uint32
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube) NumLits() int {
+	n := 0
+	for m := c.Pos | c.Neg; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// HasVar reports whether variable v appears in the cube (either phase).
+func (c Cube) HasVar(v int) bool { return (c.Pos|c.Neg)&(1<<uint(v)) != 0 }
+
+// SOP is a sum (disjunction) of cubes over a fixed variable count.
+type SOP struct {
+	NVars int
+	Cubes []Cube
+}
+
+// NumLiterals returns the total literal count of the cover.
+func (s SOP) NumLiterals() int {
+	n := 0
+	for _, c := range s.Cubes {
+		n += c.NumLits()
+	}
+	return n
+}
+
+// String renders the SOP in PLA-like textual form, e.g. "ab' + c".
+func (s SOP) String() string {
+	if len(s.Cubes) == 0 {
+		return "0"
+	}
+	var terms []string
+	for _, c := range s.Cubes {
+		if c.Pos == 0 && c.Neg == 0 {
+			terms = append(terms, "1")
+			continue
+		}
+		var b strings.Builder
+		for v := 0; v < s.NVars; v++ {
+			if c.Pos&(1<<uint(v)) != 0 {
+				fmt.Fprintf(&b, "x%d", v)
+			} else if c.Neg&(1<<uint(v)) != 0 {
+				fmt.Fprintf(&b, "x%d'", v)
+			}
+		}
+		terms = append(terms, b.String())
+	}
+	return strings.Join(terms, " + ")
+}
+
+// TT evaluates the SOP back into a truth table over nvars variables.
+func (s SOP) TT() bitvec.TT {
+	r := bitvec.Const(s.NVars, false)
+	for _, c := range s.Cubes {
+		t := bitvec.Const(s.NVars, true)
+		for v := 0; v < s.NVars; v++ {
+			if c.Pos&(1<<uint(v)) != 0 {
+				t = bitvec.And(t, bitvec.Var(s.NVars, v))
+			} else if c.Neg&(1<<uint(v)) != 0 {
+				t = bitvec.AndNot(t, bitvec.Var(s.NVars, v))
+			}
+		}
+		r = bitvec.Or(r, t)
+	}
+	return r
+}
+
+// ISOP computes an irredundant sum-of-products cover of the fully
+// specified function f using the Minato–Morreale interval algorithm.
+func ISOP(f bitvec.TT) SOP {
+	cubes, _ := isop(f, f, f.NumVars())
+	return SOP{NVars: f.NumVars(), Cubes: cubes}
+}
+
+// isop returns an irredundant cover S with L <= S <= U, plus the covered
+// set as a truth table.
+func isop(L, U bitvec.TT, nvars int) ([]Cube, bitvec.TT) {
+	if L.IsConst0() {
+		return nil, bitvec.Const(nvars, false)
+	}
+	if U.IsConst1() {
+		return []Cube{{}}, bitvec.Const(nvars, true)
+	}
+	// Splitting variable: the highest variable in the support of L or U.
+	v := -1
+	for i := nvars - 1; i >= 0; i-- {
+		if L.DependsOn(i) || U.DependsOn(i) {
+			v = i
+			break
+		}
+	}
+	if v < 0 {
+		// L is constant but not 0, U constant but not 1: impossible when
+		// L <= U holds; defensive fallback.
+		return []Cube{{}}, bitvec.Const(nvars, true)
+	}
+	L0, L1 := bitvec.Cofactor0(L, v), bitvec.Cofactor1(L, v)
+	U0, U1 := bitvec.Cofactor0(U, v), bitvec.Cofactor1(U, v)
+
+	// Minterms coverable only with literal v'.
+	S0, C0 := isop(bitvec.AndNot(L0, U1), U0, nvars)
+	// Minterms coverable only with literal v.
+	S1, C1 := isop(bitvec.AndNot(L1, U0), U1, nvars)
+	// What remains must be covered by cubes independent of v.
+	Lnew := bitvec.Or(bitvec.AndNot(L0, C0), bitvec.AndNot(L1, C1))
+	S2, C2 := isop(Lnew, bitvec.And(U0, U1), nvars)
+
+	cubes := make([]Cube, 0, len(S0)+len(S1)+len(S2))
+	for _, c := range S0 {
+		c.Neg |= 1 << uint(v)
+		cubes = append(cubes, c)
+	}
+	for _, c := range S1 {
+		c.Pos |= 1 << uint(v)
+		cubes = append(cubes, c)
+	}
+	cubes = append(cubes, S2...)
+
+	x := bitvec.Var(nvars, v)
+	cover := bitvec.Or(C2, bitvec.Or(bitvec.AndNot(C0, x), bitvec.And(C1, x)))
+	return cubes, cover
+}
+
+// Expr is a node of a factored-form expression tree.
+type Expr struct {
+	Kind ExprKind
+	Var  int     // for KindLit
+	Neg  bool    // for KindLit and KindConst (Neg means const 0)
+	Args []*Expr // for KindAnd / KindOr
+}
+
+// ExprKind discriminates expression nodes.
+type ExprKind uint8
+
+const (
+	// KindConst is a constant (Neg: false=1, true=0).
+	KindConst ExprKind = iota
+	// KindLit is a variable literal.
+	KindLit
+	// KindAnd is a conjunction of Args.
+	KindAnd
+	// KindOr is a disjunction of Args.
+	KindOr
+)
+
+// NumLiterals counts literal leaves of the expression.
+func (e *Expr) NumLiterals() int {
+	switch e.Kind {
+	case KindLit:
+		return 1
+	case KindAnd, KindOr:
+		n := 0
+		for _, a := range e.Args {
+			n += a.NumLiterals()
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// String renders the expression with x<i> variables.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case KindConst:
+		if e.Neg {
+			return "0"
+		}
+		return "1"
+	case KindLit:
+		if e.Neg {
+			return fmt.Sprintf("x%d'", e.Var)
+		}
+		return fmt.Sprintf("x%d", e.Var)
+	case KindAnd:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			if a.Kind == KindOr {
+				parts[i] = "(" + a.String() + ")"
+			} else {
+				parts[i] = a.String()
+			}
+		}
+		return strings.Join(parts, "*")
+	case KindOr:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = a.String()
+		}
+		return strings.Join(parts, " + ")
+	}
+	return "?"
+}
+
+// Factor converts an SOP cover into a factored form using recursive
+// literal factoring (the "quick factor" algebraic method): the most
+// frequent literal is factored out, and quotient and remainder are
+// factored recursively.
+func Factor(s SOP) *Expr {
+	if len(s.Cubes) == 0 {
+		return &Expr{Kind: KindConst, Neg: true}
+	}
+	// Tautology cube present?
+	for _, c := range s.Cubes {
+		if c.Pos == 0 && c.Neg == 0 {
+			return &Expr{Kind: KindConst}
+		}
+	}
+	return factorCubes(s.Cubes, s.NVars)
+}
+
+func cubeExpr(c Cube, nvars int) *Expr {
+	var lits []*Expr
+	for v := 0; v < nvars; v++ {
+		if c.Pos&(1<<uint(v)) != 0 {
+			lits = append(lits, &Expr{Kind: KindLit, Var: v})
+		} else if c.Neg&(1<<uint(v)) != 0 {
+			lits = append(lits, &Expr{Kind: KindLit, Var: v, Neg: true})
+		}
+	}
+	switch len(lits) {
+	case 0:
+		return &Expr{Kind: KindConst}
+	case 1:
+		return lits[0]
+	}
+	return &Expr{Kind: KindAnd, Args: lits}
+}
+
+func factorCubes(cubes []Cube, nvars int) *Expr {
+	if len(cubes) == 1 {
+		return cubeExpr(cubes[0], nvars)
+	}
+	// Count literal occurrences: positive phases in [0,32), negative in [32,64).
+	var count [64]int
+	for _, c := range cubes {
+		for v := 0; v < nvars; v++ {
+			if c.Pos&(1<<uint(v)) != 0 {
+				count[v]++
+			}
+			if c.Neg&(1<<uint(v)) != 0 {
+				count[32+v]++
+			}
+		}
+	}
+	best, bestCount := -1, 1
+	for i, n := range count {
+		if n > bestCount {
+			best, bestCount = i, n
+		}
+	}
+	if best < 0 {
+		// No literal shared by two cubes: plain disjunction of products.
+		args := make([]*Expr, len(cubes))
+		for i, c := range cubes {
+			args[i] = cubeExpr(c, nvars)
+		}
+		return &Expr{Kind: KindOr, Args: args}
+	}
+	v, neg := best, false
+	if best >= 32 {
+		v, neg = best-32, true
+	}
+	bit := uint32(1) << uint(v)
+	var quot, rem []Cube
+	for _, c := range cubes {
+		in := false
+		if neg {
+			in = c.Neg&bit != 0
+		} else {
+			in = c.Pos&bit != 0
+		}
+		if in {
+			nc := c
+			if neg {
+				nc.Neg &^= bit
+			} else {
+				nc.Pos &^= bit
+			}
+			quot = append(quot, nc)
+		} else {
+			rem = append(rem, c)
+		}
+	}
+	lit := &Expr{Kind: KindLit, Var: v, Neg: neg}
+	var qex *Expr
+	if len(quot) == 1 && quot[0].Pos == 0 && quot[0].Neg == 0 {
+		qex = lit // lit * 1
+	} else {
+		qex = &Expr{Kind: KindAnd, Args: []*Expr{lit, factorCubes(quot, nvars)}}
+	}
+	if len(rem) == 0 {
+		return qex
+	}
+	return &Expr{Kind: KindOr, Args: []*Expr{qex, factorCubes(rem, nvars)}}
+}
+
+// FactorTT is a convenience composing ISOP and Factor, choosing whichever
+// of f's or its complement's factored form has fewer literals (the
+// complement costs one extra output inversion, which is free in an AIG).
+// The returned bool reports whether the expression computes NOT f.
+func FactorTT(f bitvec.TT) (*Expr, bool) {
+	pos := Factor(ISOP(f))
+	neg := Factor(ISOP(bitvec.Not(f)))
+	if neg.NumLiterals() < pos.NumLiterals() {
+		return neg, true
+	}
+	return pos, false
+}
+
+// FactorTTFast is the large-cone variant used by refactoring: for tables
+// over more than 8 variables, only the phase with fewer minterms is
+// factored (the other phase's ISOP is usually larger and twice the ISOP
+// work dominates refactoring runtime); small tables use both phases.
+func FactorTTFast(f bitvec.TT) (*Expr, bool) {
+	if f.NumVars() <= 8 {
+		return FactorTT(f)
+	}
+	if f.CountOnes() > f.NumBits()/2 {
+		return Factor(ISOP(bitvec.Not(f))), true
+	}
+	return Factor(ISOP(f)), false
+}
+
+// BuildAIG constructs the expression over the given leaf literals in g and
+// returns the output literal. AND/OR argument lists are built as balanced
+// trees ordered by current node level, minimizing added depth.
+func BuildAIG(g *aig.AIG, e *Expr, leaves []aig.Lit) aig.Lit {
+	switch e.Kind {
+	case KindConst:
+		if e.Neg {
+			return aig.ConstFalse
+		}
+		return aig.ConstTrue
+	case KindLit:
+		return leaves[e.Var].NotIf(e.Neg)
+	case KindAnd, KindOr:
+		lits := make([]aig.Lit, len(e.Args))
+		for i, a := range e.Args {
+			lits[i] = BuildAIG(g, a, leaves)
+		}
+		return combineBalanced(g, lits, e.Kind == KindOr)
+	}
+	panic("sop: invalid expression kind")
+}
+
+// combineBalanced reduces the literals with AND (or OR when disj is true)
+// by repeatedly combining the two lowest-level operands, producing a
+// depth-balanced tree.
+func combineBalanced(g *aig.AIG, lits []aig.Lit, disj bool) aig.Lit {
+	if len(lits) == 1 {
+		return lits[0]
+	}
+	level := func(l aig.Lit) int { return g.Level(l.Node()) }
+	work := append([]aig.Lit(nil), lits...)
+	for len(work) > 1 {
+		sort.Slice(work, func(i, j int) bool { return level(work[i]) < level(work[j]) })
+		var n aig.Lit
+		if disj {
+			n = g.Or(work[0], work[1])
+		} else {
+			n = g.And(work[0], work[1])
+		}
+		work = append(work[2:], n)
+	}
+	return work[0]
+}

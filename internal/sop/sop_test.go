@@ -1,0 +1,248 @@
+package sop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowgen/internal/aig"
+	"flowgen/internal/bitvec"
+)
+
+func randomTT(rng *rand.Rand, k int) bitvec.TT {
+	t := bitvec.New(k)
+	for i := 0; i < t.NumBits(); i++ {
+		if rng.Intn(2) == 1 {
+			t.SetBit(i, true)
+		}
+	}
+	return t
+}
+
+func TestISOPRoundTripExhaustive3Vars(t *testing.T) {
+	// Every 3-variable function must round-trip through ISOP.
+	for fn := 0; fn < 256; fn++ {
+		f := bitvec.New(3)
+		for i := 0; i < 8; i++ {
+			if fn&(1<<uint(i)) != 0 {
+				f.SetBit(i, true)
+			}
+		}
+		s := ISOP(f)
+		if !bitvec.Equal(s.TT(), f) {
+			t.Fatalf("fn %02x: ISOP %v does not match", fn, s)
+		}
+	}
+}
+
+func TestISOPRoundTripRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{4, 6, 8, 10, 12} {
+		for trial := 0; trial < 10; trial++ {
+			f := randomTT(rng, k)
+			s := ISOP(f)
+			if !bitvec.Equal(s.TT(), f) {
+				t.Fatalf("k=%d trial=%d: round trip failed", k, trial)
+			}
+		}
+	}
+}
+
+func TestISOPIrredundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		f := randomTT(rng, 5)
+		s := ISOP(f)
+		// Removing any single cube must change the function.
+		for i := range s.Cubes {
+			reduced := SOP{NVars: s.NVars}
+			reduced.Cubes = append(reduced.Cubes, s.Cubes[:i]...)
+			reduced.Cubes = append(reduced.Cubes, s.Cubes[i+1:]...)
+			if bitvec.Equal(reduced.TT(), f) {
+				t.Fatalf("trial %d: cube %d is redundant in %v", trial, i, s)
+			}
+		}
+	}
+}
+
+func TestISOPConstants(t *testing.T) {
+	c0 := ISOP(bitvec.Const(4, false))
+	if len(c0.Cubes) != 0 {
+		t.Fatalf("const0 ISOP = %v", c0)
+	}
+	c1 := ISOP(bitvec.Const(4, true))
+	if len(c1.Cubes) != 1 || c1.Cubes[0].NumLits() != 0 {
+		t.Fatalf("const1 ISOP = %v", c1)
+	}
+}
+
+func TestFactorPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{3, 4, 5, 6, 8} {
+		for trial := 0; trial < 20; trial++ {
+			f := randomTT(rng, k)
+			e := Factor(ISOP(f))
+			// Evaluate the expression on every minterm.
+			for i := 0; i < f.NumBits(); i++ {
+				if evalExpr(e, i) != f.Bit(i) {
+					t.Fatalf("k=%d trial=%d minterm %d: %s", k, trial, i, e)
+				}
+			}
+		}
+	}
+}
+
+func evalExpr(e *Expr, minterm int) bool {
+	switch e.Kind {
+	case KindConst:
+		return !e.Neg
+	case KindLit:
+		v := minterm&(1<<uint(e.Var)) != 0
+		return v != e.Neg
+	case KindAnd:
+		for _, a := range e.Args {
+			if !evalExpr(a, minterm) {
+				return false
+			}
+		}
+		return true
+	case KindOr:
+		for _, a := range e.Args {
+			if evalExpr(a, minterm) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func TestFactorSharesLiterals(t *testing.T) {
+	// f = a*b + a*c should factor to a*(b+c): 3 literals, not 4.
+	f := bitvec.Or(
+		bitvec.And(bitvec.Var(3, 0), bitvec.Var(3, 1)),
+		bitvec.And(bitvec.Var(3, 0), bitvec.Var(3, 2)))
+	e := Factor(ISOP(f))
+	if e.NumLiterals() > 3 {
+		t.Fatalf("factored form %s has %d literals, want <= 3", e, e.NumLiterals())
+	}
+}
+
+func TestFactorTTPicksMinimalPhase(t *testing.T) {
+	// FactorTT must return min(literals(f), literals(!f)) and a correct
+	// inversion flag on random functions.
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		f := randomTT(rng, 5)
+		e, inv := FactorTT(f)
+		pos := Factor(ISOP(f)).NumLiterals()
+		neg := Factor(ISOP(bitvec.Not(f))).NumLiterals()
+		want := pos
+		if neg < pos {
+			want = neg
+		}
+		if e.NumLiterals() != want {
+			t.Fatalf("trial %d: got %d literals, want %d", trial, e.NumLiterals(), want)
+		}
+		for i := 0; i < f.NumBits(); i++ {
+			if (evalExpr(e, i) != inv) != f.Bit(i) {
+				t.Fatalf("trial %d minterm %d: wrong function", trial, i)
+			}
+		}
+	}
+}
+
+func TestBuildAIGMatchesTT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{3, 5, 7} {
+		for trial := 0; trial < 10; trial++ {
+			f := randomTT(rng, k)
+			e, inv := FactorTT(f)
+			g := aig.New()
+			leaves := make([]aig.Lit, k)
+			for i := range leaves {
+				leaves[i] = g.AddInput("x")
+			}
+			out := BuildAIG(g, e, leaves).NotIf(inv)
+			g.AddOutput(out, "f")
+			for i := 0; i < f.NumBits(); i++ {
+				in := make([]bool, k)
+				for v := 0; v < k; v++ {
+					in[v] = i&(1<<uint(v)) != 0
+				}
+				if g.EvalUint(in)[0] != f.Bit(i) {
+					t.Fatalf("k=%d trial=%d minterm %d mismatch", k, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildAIGBalancedDepth(t *testing.T) {
+	// An 8-literal conjunction must be built with depth 3, not 7.
+	g := aig.New()
+	leaves := make([]aig.Lit, 8)
+	args := make([]*Expr, 8)
+	for i := range leaves {
+		leaves[i] = g.AddInput("x")
+		args[i] = &Expr{Kind: KindLit, Var: i}
+	}
+	out := BuildAIG(g, &Expr{Kind: KindAnd, Args: args}, leaves)
+	g.AddOutput(out, "f")
+	if lv := g.RecomputeLevels(); lv != 3 {
+		t.Fatalf("depth = %d, want 3", lv)
+	}
+}
+
+// Property: ISOP of any 6-var function round-trips.
+func TestQuickISOPRoundTrip(t *testing.T) {
+	f := func(w uint64) bool {
+		tt := bitvec.New(6)
+		for i := 0; i < 64; i++ {
+			if w&(1<<uint(i)) != 0 {
+				tt.SetBit(i, true)
+			}
+		}
+		return bitvec.Equal(ISOP(tt).TT(), tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: factored form never has more literals than the SOP.
+func TestQuickFactorNoWorseThanSOP(t *testing.T) {
+	f := func(w uint64) bool {
+		tt := bitvec.New(6)
+		for i := 0; i < 64; i++ {
+			if w&(1<<uint(i)) != 0 {
+				tt.SetBit(i, true)
+			}
+		}
+		s := ISOP(tt)
+		return Factor(s).NumLiterals() <= s.NumLiterals()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkISOP8Vars(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := randomTT(rng, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ISOP(f)
+	}
+}
+
+func BenchmarkFactor10Vars(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := randomTT(rng, 10)
+	s := ISOP(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Factor(s)
+	}
+}

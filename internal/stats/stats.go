@@ -1,0 +1,182 @@
+// Package stats provides the descriptive statistics used to label flows
+// and regenerate the paper's figures: percentiles, summaries, and 1-D/2-D
+// histograms (the QoR distribution plots of Figures 1 and 8).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                 int
+	Min, Max          float64
+	Mean, Std, Median float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	s.Std = math.Sqrt(s.Std / float64(len(xs)))
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// SpreadPercent returns (max-min)/min·100: the QoR spread measure used in
+// the paper's motivating observations ("up to 40% and 90% difference").
+func SpreadPercent(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.Min == 0 {
+		return math.Inf(1)
+	}
+	return (s.Max - s.Min) / s.Min * 100
+}
+
+// Hist2D is a fixed-grid 2-D histogram (area × delay in the figures).
+type Hist2D struct {
+	XMin, XMax, YMin, YMax float64
+	NX, NY                 int
+	Counts                 [][]int // [yi][xi]
+	Total                  int
+}
+
+// NewHist2D bins the paired samples into an nx-by-ny grid.
+func NewHist2D(xs, ys []float64, nx, ny int) *Hist2D {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: Hist2D needs equal non-empty samples")
+	}
+	sx, sy := Summarize(xs), Summarize(ys)
+	h := &Hist2D{XMin: sx.Min, XMax: sx.Max, YMin: sy.Min, YMax: sy.Max, NX: nx, NY: ny}
+	h.Counts = make([][]int, ny)
+	for i := range h.Counts {
+		h.Counts[i] = make([]int, nx)
+	}
+	for i := range xs {
+		xi := h.binX(xs[i])
+		yi := h.binY(ys[i])
+		h.Counts[yi][xi]++
+		h.Total++
+	}
+	return h
+}
+
+func (h *Hist2D) binX(x float64) int { return bin(x, h.XMin, h.XMax, h.NX) }
+func (h *Hist2D) binY(y float64) int { return bin(y, h.YMin, h.YMax, h.NY) }
+
+func bin(v, lo, hi float64, n int) int {
+	if hi == lo {
+		return 0
+	}
+	b := int((v - lo) / (hi - lo) * float64(n))
+	if b < 0 {
+		b = 0
+	}
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}
+
+// CSV renders the histogram as "xcenter,ycenter,count" rows, the format
+// the figure-regeneration harness emits.
+func (h *Hist2D) CSV() string {
+	var b strings.Builder
+	b.WriteString("x,y,count\n")
+	for yi := 0; yi < h.NY; yi++ {
+		for xi := 0; xi < h.NX; xi++ {
+			if h.Counts[yi][xi] == 0 {
+				continue
+			}
+			xc := h.XMin + (float64(xi)+0.5)*(h.XMax-h.XMin)/float64(h.NX)
+			yc := h.YMin + (float64(yi)+0.5)*(h.YMax-h.YMin)/float64(h.NY)
+			fmt.Fprintf(&b, "%.4f,%.4f,%d\n", xc, yc, h.Counts[yi][xi])
+		}
+	}
+	return b.String()
+}
+
+// ASCII renders a quick terminal view of the histogram (y grows upward).
+func (h *Hist2D) ASCII() string {
+	shades := " .:-=+*#%@"
+	max := 0
+	for _, row := range h.Counts {
+		for _, c := range row {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for yi := h.NY - 1; yi >= 0; yi-- {
+		for xi := 0; xi < h.NX; xi++ {
+			lvl := h.Counts[yi][xi] * (len(shades) - 1) / max
+			b.WriteByte(shades[lvl])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pearson returns the Pearson correlation coefficient of the pairs.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: Pearson needs paired samples")
+	}
+	sx, sy := Summarize(xs), Summarize(ys)
+	var cov float64
+	for i := range xs {
+		cov += (xs[i] - sx.Mean) * (ys[i] - sy.Mean)
+	}
+	cov /= float64(len(xs))
+	if sx.Std == 0 || sy.Std == 0 {
+		return 0
+	}
+	return cov / (sx.Std * sy.Std)
+}

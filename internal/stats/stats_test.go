@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Std != 2 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSpreadPercent(t *testing.T) {
+	if got := SpreadPercent([]float64{100, 140}); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("spread = %v, want 40", got)
+	}
+}
+
+func TestHist2D(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 3}
+	ys := []float64{0, 1, 2, 3, 3}
+	h := NewHist2D(xs, ys, 4, 4)
+	if h.Total != 5 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	if h.Counts[3][3] != 2 { // the two (3,3) points in the top-right bin
+		t.Fatalf("corner count = %d", h.Counts[3][3])
+	}
+	csv := h.CSV()
+	if !strings.HasPrefix(csv, "x,y,count\n") {
+		t.Fatal("csv header missing")
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 5 { // header + 4 nonzero bins
+		t.Fatalf("csv rows: %q", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(h.ASCII()), "\n")) != 4 {
+		t.Fatal("ascii rows")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	inv := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, inv); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		s := Summarize(xs)
+		return Percentile(xs, 0) == s.Min && Percentile(xs, 100) == s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram bin totals equal the sample count.
+func TestQuickHist2DTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = rng.Float64() * 10
+		}
+		h := NewHist2D(xs, ys, 8, 8)
+		sum := 0
+		for _, row := range h.Counts {
+			for _, c := range row {
+				sum += c
+			}
+		}
+		return sum == n && h.Total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,423 @@
+// Package techmap implements cut-based technology mapping of AIGs onto a
+// standard-cell library, with an area mode (area-flow heuristic) and a
+// delay mode (arrival-time minimization), followed by cover extraction
+// and static timing. It replaces the paper's "technology mapping with a
+// 14nm standard-cell library" step and produces the area and delay
+// numbers that label synthesis flows.
+package techmap
+
+import (
+	"math"
+
+	"flowgen/internal/aig"
+	"flowgen/internal/cells"
+	"flowgen/internal/cut"
+)
+
+// Mode selects the mapping objective.
+type Mode int
+
+const (
+	// AreaMode minimizes area using the area-flow heuristic.
+	AreaMode Mode = iota
+	// DelayMode minimizes the critical-path arrival time.
+	DelayMode
+)
+
+// QoR is the quality of result of a mapped netlist.
+type QoR struct {
+	Area       float64        // total cell area, µm²
+	Delay      float64        // critical path, ps (load-aware STA)
+	Gates      int            // number of cell instances
+	GateCounts map[string]int // instances per cell name
+}
+
+// LoadSlopePs is the per-extra-fanout delay penalty used by the final
+// static timing pass. FinFET-class libraries have strongly load-dependent
+// delays; modeling them makes post-mapping delay sensitive to netlist
+// structure (fanout distribution), which is what spreads the delay of
+// different synthesis flows apart (Figure 1 of the paper). A gate driving
+// a single sink incurs no penalty.
+const LoadSlopePs = 1.25
+
+// match is one way to implement a cut function with a library cell:
+// cell input i connects to cut variable pins[i], complemented when
+// negs bit i is set.
+type match struct {
+	cell int
+	pins [4]int8
+	negs uint8
+	k    int
+}
+
+// Matcher is a reusable matching table for a library (truth table over 4
+// variables -> implementations). Building it is moderately expensive, so
+// share one Matcher across Map calls. It is immutable after construction
+// and safe for concurrent use.
+type Matcher struct {
+	Lib   *cells.Library
+	table map[uint16][]match
+}
+
+// NewMatcher precomputes the match table: every cell, under every
+// injective pin assignment into 4 cut variables and every input
+// complementation, keyed by the resulting 4-variable truth table.
+func NewMatcher(lib *cells.Library) *Matcher {
+	m := &Matcher{Lib: lib, table: make(map[uint16][]match)}
+	for ci, c := range lib.Cells {
+		assignments := injections(c.Inputs)
+		for _, pins := range assignments {
+			for negs := 0; negs < 1<<uint(c.Inputs); negs++ {
+				key := expandKey(c, pins, uint8(negs))
+				e := match{cell: ci, negs: uint8(negs), k: c.Inputs}
+				copy(e.pins[:], pins)
+				m.table[key] = append(m.table[key], e)
+			}
+		}
+	}
+	return m
+}
+
+// expandKey computes the 16-bit truth table of cell c over 4 cut
+// variables with the given pin assignment and input complementation.
+func expandKey(c cells.Cell, pins []int8, negs uint8) uint16 {
+	var key uint16
+	for minterm := 0; minterm < 16; minterm++ {
+		idx := 0
+		for i := 0; i < c.Inputs; i++ {
+			v := minterm&(1<<uint(pins[i])) != 0
+			if negs&(1<<uint(i)) != 0 {
+				v = !v
+			}
+			if v {
+				idx |= 1 << uint(i)
+			}
+		}
+		if c.TT.Bit(idx) {
+			key |= 1 << uint(minterm)
+		}
+	}
+	return key
+}
+
+// injections enumerates injective assignments of k cell inputs to the 4
+// cut variable positions.
+func injections(k int) [][]int8 {
+	var out [][]int8
+	cur := make([]int8, 0, k)
+	used := [4]bool{}
+	var rec func()
+	rec = func() {
+		if len(cur) == k {
+			cp := make([]int8, k)
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for p := int8(0); p < 4; p++ {
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			cur = append(cur, p)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[p] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// choice is the selected implementation of one node phase.
+type choice struct {
+	viaInv bool
+	leaves []int // cut leaf node ids
+	m      match
+	valid  bool
+}
+
+// Net identifies a signal in the mapped netlist: a graph node in a given
+// phase (0 positive, 1 negative).
+type Net struct {
+	Node  int
+	Phase int
+}
+
+// Gate is one cell instance of the mapped netlist.
+type Gate struct {
+	Cell   int // index into the library
+	Inputs []Net
+	Output Net
+}
+
+// Netlist is the mapped cell-level netlist, gates in topological order.
+type Netlist struct {
+	Lib   *cells.Library
+	Gates []Gate
+	POs   []Net
+}
+
+// Simulate evaluates the netlist on one input assignment (indexed by the
+// source graph's PI order, provided as values keyed by PI node id).
+func (nl *Netlist) Simulate(piVals map[int]bool) []bool {
+	val := map[Net]bool{}
+	val[Net{0, 0}] = false
+	val[Net{0, 1}] = true
+	for id, v := range piVals {
+		val[Net{id, 0}] = v
+		val[Net{id, 1}] = !v
+	}
+	for _, gt := range nl.Gates {
+		cell := nl.Lib.Cells[gt.Cell]
+		idx := 0
+		for i, in := range gt.Inputs {
+			if val[in] {
+				idx |= 1 << uint(i)
+			}
+		}
+		val[gt.Output] = cell.TT.Bit(idx)
+	}
+	out := make([]bool, len(nl.POs))
+	for i, po := range nl.POs {
+		out[i] = val[po]
+	}
+	return out
+}
+
+// Map covers the graph with library cells and returns the QoR. The graph
+// is not modified (beyond ref/level recomputation).
+func Map(g *aig.AIG, matcher *Matcher, mode Mode) QoR {
+	q, _ := MapNetlist(g, matcher, mode)
+	return q
+}
+
+// MapNetlist maps the graph and also returns the cell netlist for
+// inspection or simulation.
+func MapNetlist(g *aig.AIG, matcher *Matcher, mode Mode) (QoR, *Netlist) {
+	g.RecomputeRefs()
+	lib := matcher.Lib
+	inv := lib.Inv()
+
+	cs := cut.Enumerate(g, 4, 8)
+
+	// DP state per node and phase (0 = positive, 1 = negative).
+	n := g.NumNodesRaw()
+	cost := make([][2]float64, n)
+	arr := make([][2]float64, n)
+	sel := make([][2]choice, n)
+	for i := range cost {
+		cost[i] = [2]float64{math.Inf(1), math.Inf(1)}
+		arr[i] = [2]float64{math.Inf(1), math.Inf(1)}
+	}
+	// Constant node: free in both phases.
+	cost[0] = [2]float64{0, 0}
+	arr[0] = [2]float64{0, 0}
+	for i := 0; i < g.NumPIs(); i++ {
+		id := g.PI(i).Node()
+		cost[id][0], arr[id][0] = 0, 0
+		cost[id][1] = inv.Area
+		arr[id][1] = inv.Delay
+		sel[id][1] = choice{viaInv: true, valid: true}
+	}
+
+	refWeight := func(id int) float64 {
+		r := g.Ref(id)
+		if r < 1 {
+			r = 1
+		}
+		return float64(r)
+	}
+
+	g.ForEachLiveAnd(func(id int) {
+		for _, c := range cs.Cuts[id] {
+			if len(c.Leaves) == 1 && c.Leaves[0] == id {
+				continue // trivial cut
+			}
+			key := uint16(c.TT.Words()[0] & 0xFFFF)
+			for phase := 0; phase < 2; phase++ {
+				k := key
+				if phase == 1 {
+					k = ^key
+				}
+				for _, m := range matcher.table[k] {
+					cell := lib.Cells[m.cell]
+					aCost, dCost := cell.Area, 0.0
+					feasible := true
+					for i := 0; i < m.k; i++ {
+						if int(m.pins[i]) >= len(c.Leaves) {
+							feasible = false
+							break
+						}
+						leaf := c.Leaves[m.pins[i]]
+						ph := 0
+						if m.negs&(1<<uint(i)) != 0 {
+							ph = 1
+						}
+						if math.IsInf(cost[leaf][ph], 1) {
+							feasible = false
+							break
+						}
+						aCost += cost[leaf][ph] / refWeight(leaf)
+						if t := arr[leaf][ph] + cell.Delay; t > dCost {
+							dCost = t
+						}
+					}
+					if !feasible {
+						continue
+					}
+					if m.k == 0 {
+						dCost = cell.Delay
+					}
+					better := false
+					if mode == AreaMode {
+						better = aCost < cost[id][phase] ||
+							(aCost == cost[id][phase] && dCost < arr[id][phase])
+					} else {
+						better = dCost < arr[id][phase] ||
+							(dCost == arr[id][phase] && aCost < cost[id][phase])
+					}
+					if better {
+						cost[id][phase] = aCost
+						arr[id][phase] = dCost
+						sel[id][phase] = choice{leaves: c.Leaves, m: m, valid: true}
+					}
+				}
+			}
+		}
+		// Phase conversion through an inverter (one relaxation round).
+		for p := 0; p < 2; p++ {
+			o := 1 - p
+			ac := cost[id][o] + inv.Area
+			dc := arr[id][o] + inv.Delay
+			better := false
+			if mode == AreaMode {
+				better = ac < cost[id][p] || (ac == cost[id][p] && dc < arr[id][p])
+			} else {
+				better = dc < arr[id][p] || (dc == arr[id][p] && ac < cost[id][p])
+			}
+			if better {
+				cost[id][p] = ac
+				arr[id][p] = dc
+				sel[id][p] = choice{viaInv: true, valid: true}
+			}
+		}
+	})
+
+	// Cover extraction from the primary outputs.
+	materialized := make(map[Net]float64) // -> arrival of materialized net
+	q := QoR{GateCounts: make(map[string]int)}
+	nl := &Netlist{Lib: lib}
+	addGate := func(cellIdx int, inputs []Net, out Net) {
+		cell := lib.Cells[cellIdx]
+		q.Area += cell.Area
+		q.Gates++
+		q.GateCounts[cell.Name]++
+		nl.Gates = append(nl.Gates, Gate{Cell: cellIdx, Inputs: inputs, Output: out})
+	}
+	var emit func(id, phase int) float64
+	emit = func(id, phase int) float64 {
+		key := Net{id, phase}
+		if a, ok := materialized[key]; ok {
+			return a
+		}
+		// Constants are free nets.
+		if g.Kind(id) == aig.KindConst {
+			materialized[key] = 0
+			return 0
+		}
+		if g.Kind(id) == aig.KindInput {
+			if phase == 0 {
+				materialized[key] = 0
+				return 0
+			}
+			a := emit(id, 0) + inv.Delay
+			addGate(lib.InvIndex(), []Net{{id, 0}}, key)
+			materialized[key] = a
+			return a
+		}
+		ch := sel[id][phase]
+		if !ch.valid {
+			panic("techmap: unmatched node phase (library incomplete)")
+		}
+		if ch.viaInv {
+			a := emit(id, 1-phase) + inv.Delay
+			addGate(lib.InvIndex(), []Net{{id, 1 - phase}}, key)
+			materialized[key] = a
+			return a
+		}
+		cell := lib.Cells[ch.m.cell]
+		worst := 0.0
+		// Mark before recursing to guard cyclic misuse (cannot happen on
+		// a DAG, but keeps the cost model safe if the cut is stale).
+		materialized[key] = math.Inf(1)
+		inputs := make([]Net, ch.m.k)
+		for i := 0; i < ch.m.k; i++ {
+			leaf := ch.leaves[ch.m.pins[i]]
+			ph := 0
+			if ch.m.negs&(1<<uint(i)) != 0 {
+				ph = 1
+			}
+			inputs[i] = Net{leaf, ph}
+			if a := emit(leaf, ph); a > worst {
+				worst = a
+			}
+		}
+		a := worst + cell.Delay
+		addGate(ch.m.cell, inputs, key)
+		materialized[key] = a
+		return a
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		l := g.PO(i)
+		ph := 0
+		if l.IsNeg() {
+			ph = 1
+		}
+		nl.POs = append(nl.POs, Net{l.Node(), ph})
+		emit(l.Node(), ph)
+	}
+	q.Delay = nl.CriticalPath()
+	return q, nl
+}
+
+// CriticalPath runs load-aware static timing over the netlist: a gate's
+// delay is its library delay plus LoadSlopePs per fanout beyond the
+// first. Gates are in topological order by construction.
+func (nl *Netlist) CriticalPath() float64 {
+	fanout := make(map[Net]int, len(nl.Gates))
+	for _, gt := range nl.Gates {
+		for _, in := range gt.Inputs {
+			fanout[in]++
+		}
+	}
+	for _, po := range nl.POs {
+		fanout[po]++
+	}
+	arr := make(map[Net]float64, len(nl.Gates))
+	for _, gt := range nl.Gates {
+		worst := 0.0
+		for _, in := range gt.Inputs {
+			if a := arr[in]; a > worst {
+				worst = a
+			}
+		}
+		load := fanout[gt.Output]
+		if load < 1 {
+			load = 1
+		}
+		arr[gt.Output] = worst + nl.Lib.Cells[gt.Cell].Delay + LoadSlopePs*float64(load-1)
+	}
+	crit := 0.0
+	for _, po := range nl.POs {
+		if a := arr[po]; a > crit {
+			crit = a
+		}
+	}
+	return crit
+}
+
+// MapBoth maps in both modes and returns (areaQoR, delayQoR).
+func MapBoth(g *aig.AIG, matcher *Matcher) (QoR, QoR) {
+	return Map(g, matcher, AreaMode), Map(g, matcher, DelayMode)
+}

@@ -1,0 +1,80 @@
+package tensor
+
+import "testing"
+
+func TestNewAndIndexing(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 || len(x.Data) != 24 {
+		t.Fatal("size")
+	}
+	x.Set(7, 1, 2, 3)
+	if x.At(1, 2, 3) != 7 {
+		t.Fatal("set/at")
+	}
+	if x.Idx(1, 2, 3) != 1*12+2*4+3 {
+		t.Fatal("row-major index")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	v := x.Reshape(3, 4)
+	v.Set(5, 1, 1)
+	if x.At(0, 5) != 5 {
+		t.Fatal("reshape must share data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad reshape")
+		}
+	}()
+	x.Reshape(5, 5)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := New(3)
+	x.Fill(1)
+	c := x.Clone()
+	c.Data[0] = 9
+	if x.Data[0] != 1 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	if x.At(1, 0) != 3 {
+		t.Fatal("FromSlice layout")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	FromSlice(d, 3, 2)
+}
+
+func TestSameShape(t *testing.T) {
+	if !SameShape(New(2, 3), New(2, 3)) || SameShape(New(2, 3), New(3, 2)) || SameShape(New(2), New(2, 1)) {
+		t.Fatal("SameShape")
+	}
+}
+
+func TestPanicsOnBadCoords(t *testing.T) {
+	x := New(2, 2)
+	for _, f := range []func(){
+		func() { x.At(2, 0) },
+		func() { x.At(0) },
+		func() { New(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

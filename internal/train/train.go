@@ -1,0 +1,156 @@
+// Package train provides the mini-batch training loop (the paper trains
+// with batch size 5), dataset shuffling and accuracy evaluation for the
+// flow-classification CNN.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowgen/internal/nn"
+	"flowgen/internal/opt"
+	"flowgen/internal/tensor"
+)
+
+// Dataset is a labeled set of flow images.
+type Dataset struct {
+	X     [][]float64 // flattened one-hot images
+	Y     []int       // class labels
+	H, W  int         // image shape
+	NumCl int
+}
+
+// Add appends one sample.
+func (d *Dataset) Add(x []float64, y int) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Clone returns a shallow copy whose sample order can be shuffled
+// independently.
+func (d *Dataset) Clone() *Dataset {
+	c := *d
+	c.X = append([][]float64(nil), d.X...)
+	c.Y = append([]int(nil), d.Y...)
+	return &c
+}
+
+// Shuffle permutes the samples.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(d.Len(), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// Trainer drives mini-batch gradient descent.
+type Trainer struct {
+	Net       *nn.Network
+	Opt       opt.Optimizer
+	BatchSize int
+	rng       *rand.Rand
+	cursor    int
+	order     []int
+	data      *Dataset
+}
+
+// NewTrainer builds a trainer with the paper's batch size 5.
+func NewTrainer(net *nn.Network, o opt.Optimizer, seed int64) *Trainer {
+	return &Trainer{Net: net, Opt: o, BatchSize: 5, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetData (re)binds the training set and resets the epoch order. Called
+// again whenever the incremental framework grows the dataset.
+func (t *Trainer) SetData(d *Dataset) {
+	t.data = d
+	t.order = nil
+	t.cursor = 0
+}
+
+func (t *Trainer) refillOrder() {
+	n := t.data.Len()
+	t.order = make([]int, n)
+	for i := range t.order {
+		t.order[i] = i
+	}
+	t.rng.Shuffle(n, func(i, j int) { t.order[i], t.order[j] = t.order[j], t.order[i] })
+	t.cursor = 0
+}
+
+// Step runs one mini-batch training step and returns the mean batch loss.
+func (t *Trainer) Step() (float64, error) {
+	if t.data == nil || t.data.Len() == 0 {
+		return 0, fmt.Errorf("train: no data bound")
+	}
+	if t.cursor+t.BatchSize > len(t.order) {
+		t.refillOrder()
+	}
+	t.Net.ZeroGrads()
+	batch := t.BatchSize
+	if batch > t.data.Len() {
+		batch = t.data.Len()
+	}
+	var loss float64
+	for b := 0; b < batch; b++ {
+		idx := t.order[t.cursor]
+		t.cursor++
+		x := tensor.FromSlice(t.data.X[idx], 1, t.data.H, t.data.W)
+		logits := t.Net.Forward(x, true)
+		l, grad := nn.SparseSoftmaxCE(logits.Data, t.data.Y[idx])
+		loss += l
+		t.Net.Backward(tensor.FromSlice(grad, len(grad)))
+	}
+	// Average accumulated gradients over the batch.
+	inv := 1 / float64(batch)
+	for _, p := range t.Net.Params() {
+		for i := range p.Grad {
+			p.Grad[i] *= inv
+		}
+	}
+	t.Opt.Step(t.Net.Params())
+	return loss * inv, nil
+}
+
+// Steps runs n mini-batch steps and returns the mean loss across them.
+func (t *Trainer) Steps(n int) (float64, error) {
+	var total float64
+	for i := 0; i < n; i++ {
+		l, err := t.Step()
+		if err != nil {
+			return 0, err
+		}
+		total += l
+	}
+	return total / float64(n), nil
+}
+
+// Accuracy returns the fraction of dataset samples whose argmax
+// prediction matches the label.
+func Accuracy(net *nn.Network, d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range d.X {
+		x := tensor.FromSlice(d.X[i], 1, d.H, d.W)
+		probs := net.Predict(x)
+		if Argmax(probs) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(xs []float64) int {
+	best, bi := xs[0], 0
+	for i, v := range xs[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}

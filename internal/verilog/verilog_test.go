@@ -1,0 +1,71 @@
+package verilog
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"flowgen/internal/aig"
+	"flowgen/internal/cells"
+	"flowgen/internal/circuits"
+	"flowgen/internal/techmap"
+)
+
+var matcher = techmap.NewMatcher(cells.New14nm())
+
+func TestWriteSimpleGate(t *testing.T) {
+	g := aig.New()
+	a, b := g.AddInput("a"), g.AddInput("b")
+	g.AddOutput(g.And(a, b), "y")
+	_, nl := techmap.MapNetlist(g, matcher, techmap.AreaMode)
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, g, nl, "and2"); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"module and2(a, b, y);", "input a;", "output y;", "AND2_X1", "endmodule"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteRealDesignWellFormed(t *testing.T) {
+	g := circuits.ALU(8)
+	q, nl := techmap.MapNetlist(g, matcher, techmap.DelayMode)
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, g, nl, "alu8"); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// Every gate instance appears, one per line.
+	instances := regexp.MustCompile(`(?m)^\s+\w+_X1 g\d+ \(`).FindAllString(s, -1)
+	if len(instances) != q.Gates {
+		t.Fatalf("%d instances in Verilog, %d gates mapped", len(instances), q.Gates)
+	}
+	// Balanced module/endmodule, all outputs assigned.
+	if strings.Count(s, "module ") != 1 || strings.Count(s, "endmodule") != 1 {
+		t.Fatal("module structure broken")
+	}
+	if got := strings.Count(s, "assign "); got != g.NumPOs() {
+		t.Fatalf("%d assigns, want %d", got, g.NumPOs())
+	}
+	// No undeclared net: every net used in a pin is a port, a declared
+	// wire, or a constant.
+	declared := map[string]bool{"1'b0": true, "1'b1": true}
+	for _, m := range regexp.MustCompile(`(?m)^\s+(?:input|output|wire) (\w+);`).FindAllStringSubmatch(s, -1) {
+		declared[m[1]] = true
+	}
+	for _, m := range regexp.MustCompile(`\.[A-Z]\(([^)]+)\)`).FindAllStringSubmatch(s, -1) {
+		if !declared[m[1]] {
+			t.Fatalf("undeclared net %q", m[1])
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("a[3]") != "a_3_" || sanitize("3x") != "_3x" || sanitize("") != "_" {
+		t.Fatal("sanitize rules")
+	}
+}
