@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"flowgen/internal/circuits"
 	"flowgen/internal/exp"
@@ -33,6 +34,7 @@ func main() {
 		steps      = flag.Int("steps", 300, "CNN steps per retraining round")
 		numOut     = flag.Int("out", 0, "flows to select (0 = pool/25)")
 		seed       = flag.Int64("seed", 11, "random seed")
+		memo       = flag.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
 	)
 	flag.Parse()
 
@@ -49,13 +51,21 @@ func main() {
 	}
 	space := flow.NewSpace(flow.DefaultAlphabet, *m)
 	fmt.Fprintf(os.Stderr, "collecting %d+%d flows on %s...\n", *trainN, *poolN, *designName)
-	bundle, err := exp.Collect(d.Build(), space, *trainN, *poolN, *seed, func(done, total int) {
+	bundle, err := exp.CollectMode(d.Build(), space, *trainN, *poolN, *seed, *memo, func(done, total int) {
 		if done%100 == 0 {
 			fmt.Fprintf(os.Stderr, "  %d/%d\n", done, total)
 		}
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *memo {
+		fmt.Fprintf(os.Stderr, "collected in %v: %d/%d transformations run (%.2fx work sharing)\n",
+			bundle.SynthTime.Round(time.Millisecond), bundle.Memo.TransformsRun,
+			bundle.Memo.DirectSteps, bundle.Memo.SpeedupFactor())
+	} else {
+		fmt.Fprintf(os.Stderr, "collected in %v (independent per-flow synthesis)\n",
+			bundle.SynthTime.Round(time.Millisecond))
 	}
 
 	base := exp.DefaultRunConfig(space, metric)

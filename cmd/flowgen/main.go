@@ -39,6 +39,7 @@ func main() {
 		steps      = flag.Int("steps", 400, "CNN steps per retraining round")
 		seed       = flag.Int64("seed", 1, "random seed")
 		optimizer  = flag.String("optimizer", "RMSProp", "SGD|Momentum|AdaGrad|RMSProp|Ftrl")
+		memo       = flag.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
 		paper      = flag.Bool("paper", false, "use the paper's full-scale parameters")
 		verify     = flag.Bool("verify", false, "synthesize the generated flows and report accuracy")
 		list       = flag.Bool("list", false, "list available designs and exit")
@@ -95,6 +96,7 @@ func main() {
 	fmt.Printf("design: %s (search space %v flows)\n", st, space.Count())
 
 	engine := synth.NewEngine(design, space)
+	engine.Memo = *memo
 	fw, err := core.New(cfg, engine)
 	if err != nil {
 		fatal(err)

@@ -9,8 +9,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/big"
 	"math/rand"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"flowgen/internal/circuits"
 	"flowgen/internal/exp"
@@ -29,6 +32,8 @@ func main() {
 		bins       = flag.Int("bins", 20, "histogram bins per axis")
 		csvPath    = flag.String("csv", "", "write the 2-D histogram CSV here")
 		lutK       = flag.Int("lut", 0, "also report k-LUT mapping QoR of the raw design (0 = off)")
+		memo       = flag.Bool("memo", true, "prefix-memoized batch evaluation (false = independent per-flow synthesis)")
+		all        = flag.Bool("all", false, "exhaustively synthesize the entire flow space instead of sampling (small spaces only, e.g. -m 1)")
 	)
 	flag.Parse()
 
@@ -53,18 +58,48 @@ func main() {
 		space.N(), space.M, space.Length(), space.Count())
 
 	engine := synth.NewEngine(design, space)
-	rng := rand.New(rand.NewSource(*seed))
-	sample := space.RandomUnique(rng, *flows)
-	done := 0
+	engine.Memo = *memo
+	var sample []flow.Flow
+	if *all {
+		// Exhaustive ground truth: the batch is the whole space, which is
+		// the prefix-memoized engine's best case (every prefix and most
+		// final graphs are shared).
+		if space.Count().Cmp(big.NewInt(100000)) > 0 {
+			fmt.Fprintf(os.Stderr, "-all needs a small space; %v flows is too many (try -m 1)\n", space.Count())
+			os.Exit(1)
+		}
+		sample = space.Enumerate(0)
+		fmt.Printf("exhaustive mode: synthesizing all %d flows of the space\n", len(sample))
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		sample = space.RandomUnique(rng, *flows)
+	}
+	var lastDecile atomic.Int64 // progress is invoked concurrently from worker goroutines
+	start := time.Now()
 	qors, err := engine.EvaluateAll(sample, func(n int) {
-		if n*10/len(sample) != done {
-			done = n * 10 / len(sample)
-			fmt.Printf("  %d0%%\n", done)
+		d := int64(n * 10 / len(sample))
+		for {
+			cur := lastDecile.Load()
+			if d <= cur {
+				return
+			}
+			if lastDecile.CompareAndSwap(cur, d) {
+				fmt.Printf("  %d0%%\n", d)
+				return
+			}
 		}
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	wall := time.Since(start)
+	if *memo {
+		st := engine.MemoStats()
+		fmt.Printf("synthesized %d flows in %v: %d/%d transformations run, %d mappings (of %d flows), %.2fx work sharing\n",
+			len(sample), wall.Round(time.Millisecond), st.TransformsRun, st.DirectSteps, st.MapCalls, st.Flows, st.SpeedupFactor())
+	} else {
+		fmt.Printf("synthesized %d flows in %v (independent per-flow synthesis)\n", len(sample), wall.Round(time.Millisecond))
 	}
 
 	areas := exp.Metrics(qors, synth.MetricArea)

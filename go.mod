@@ -1,0 +1,3 @@
+module flowgen
+
+go 1.24

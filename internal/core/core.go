@@ -131,6 +131,11 @@ type Result struct {
 
 	TrainFlows []flow.Flow
 	TrainQoRs  []synth.QoR
+
+	// Memo is the engine's accumulated work-sharing statistics after the
+	// run. The incremental protocol evaluates many batches on one engine,
+	// so its persistent transition/QoR caches compound across rounds.
+	Memo synth.MemoStats
 }
 
 // Framework is the autonomous flow developer.
@@ -230,6 +235,11 @@ func (fw *Framework) Run(progress Progress) (*Result, error) {
 	}
 	res.Model = model
 	res.TrainQoRs = qors
+	res.Memo = fw.Engine.MemoStats()
+	if res.Memo.Flows > 0 {
+		progress("memoized synthesis: %d/%d transformations run (%.2fx work sharing)",
+			res.Memo.TransformsRun, res.Memo.DirectSteps, res.Memo.SpeedupFactor())
+	}
 
 	// ③ Predict the unlabeled pool and pick the extremes.
 	pool := fw.GeneratePool(flows)

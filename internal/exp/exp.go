@@ -39,12 +39,20 @@ type Bundle struct {
 	PoolQoRs   []synth.QoR
 	SynthTime  time.Duration // wall time spent synthesizing everything
 	PerFlowAvg time.Duration
+	Memo       synth.MemoStats // work sharing achieved during collection
 }
 
 // Collect evaluates trainN training flows and poolN disjoint sample
-// flows on the design.
+// flows on the design with the prefix-memoized engine.
 func Collect(design *aig.AIG, space flow.Space, trainN, poolN int, seed int64, progress func(done, total int)) (*Bundle, error) {
+	return CollectMode(design, space, trainN, poolN, seed, true, progress)
+}
+
+// CollectMode is Collect with an explicit memoization toggle (memo=false
+// forces one independent synthesis per flow, e.g. for baseline timing).
+func CollectMode(design *aig.AIG, space flow.Space, trainN, poolN int, seed int64, memo bool, progress func(done, total int)) (*Bundle, error) {
 	engine := synth.NewEngine(design, space)
+	engine.Memo = memo
 	rng := rand.New(rand.NewSource(seed))
 	all := space.RandomUnique(rng, trainN+poolN)
 	start := time.Now()
@@ -67,6 +75,7 @@ func Collect(design *aig.AIG, space flow.Space, trainN, poolN int, seed int64, p
 		PoolQoRs:   qors[trainN:],
 		SynthTime:  dur,
 		PerFlowAvg: dur / time.Duration(total),
+		Memo:       engine.MemoStats(),
 	}, nil
 }
 

@@ -1,0 +1,75 @@
+package flow
+
+// Trie indexes a batch of flows by shared transformation prefix. Flows
+// in an m-repetition space are permutations of one multiset (Section
+// 2.1), so random batches share substantial prefix structure; the
+// prefix-memoized evaluation engine (internal/synth) walks this trie so
+// that every distinct prefix is synthesized exactly once instead of once
+// per flow containing it.
+type Trie struct {
+	Root *TrieNode
+	// Nodes counts non-root trie nodes, i.e. the number of transformation
+	// applications a prefix-sharing evaluator performs in the worst case
+	// (before convergence dedup).
+	Nodes int
+	// Steps counts the transformation applications a direct evaluator
+	// performs: the sum of all flow lengths, duplicates included.
+	Steps int
+}
+
+// TrieNode is one shared transformation prefix. The path of Transform
+// indices from the root spells the prefix; Flows lists the batch indices
+// of flows that end exactly here.
+type TrieNode struct {
+	Transform int // index into the space alphabet; -1 at the root
+	Depth     int // prefix length; 0 at the root
+	Children  []*TrieNode
+	Flows     []int
+}
+
+// BuildTrie builds the prefix trie of the batch. Duplicate flows
+// collapse onto one terminal node (its Flows slice lists every batch
+// index), and an empty batch yields a childless root. Child order is
+// first-appearance order, so construction is deterministic in the batch
+// order.
+func BuildTrie(flows []Flow) *Trie {
+	t := &Trie{Root: &TrieNode{Transform: -1}}
+	for fi, f := range flows {
+		t.Steps += len(f.Indices)
+		n := t.Root
+		for _, tr := range f.Indices {
+			var child *TrieNode
+			for _, c := range n.Children {
+				if c.Transform == tr {
+					child = c
+					break
+				}
+			}
+			if child == nil {
+				child = &TrieNode{Transform: tr, Depth: n.Depth + 1}
+				n.Children = append(n.Children, child)
+				t.Nodes++
+			}
+			n = child
+		}
+		n.Flows = append(n.Flows, fi)
+	}
+	return t
+}
+
+// Terminal reports whether any flow of the batch ends at this node.
+func (n *TrieNode) Terminal() bool { return len(n.Flows) > 0 }
+
+// NumFlows returns the number of flow endpoints stored in the subtree,
+// duplicates included.
+func (n *TrieNode) NumFlows() int {
+	total := len(n.Flows)
+	for _, c := range n.Children {
+		total += c.NumFlows()
+	}
+	return total
+}
+
+// SharedSteps returns Steps - Nodes: the number of transformation
+// applications pure prefix sharing saves over direct evaluation.
+func (t *Trie) SharedSteps() int { return t.Steps - t.Nodes }

@@ -1,0 +1,124 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildTrieEmptyBatch(t *testing.T) {
+	tr := BuildTrie(nil)
+	if tr.Root == nil || len(tr.Root.Children) != 0 || tr.Root.Terminal() {
+		t.Fatalf("empty batch should give a bare root, got %+v", tr.Root)
+	}
+	if tr.Nodes != 0 || tr.Steps != 0 {
+		t.Fatalf("empty batch: Nodes=%d Steps=%d, want 0,0", tr.Nodes, tr.Steps)
+	}
+}
+
+func TestBuildTrieSingleTransformFlows(t *testing.T) {
+	flows := []Flow{{Indices: []int{2}}, {Indices: []int{0}}, {Indices: []int{2}}}
+	tr := BuildTrie(flows)
+	if tr.Nodes != 2 {
+		t.Fatalf("Nodes = %d, want 2 (transforms 2 and 0)", tr.Nodes)
+	}
+	if tr.Steps != 3 {
+		t.Fatalf("Steps = %d, want 3", tr.Steps)
+	}
+	if len(tr.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(tr.Root.Children))
+	}
+	// First-appearance child order: transform 2 first.
+	c0 := tr.Root.Children[0]
+	if c0.Transform != 2 || len(c0.Flows) != 2 || c0.Flows[0] != 0 || c0.Flows[1] != 2 {
+		t.Fatalf("duplicate single-transform flows should collapse: %+v", c0)
+	}
+	c1 := tr.Root.Children[1]
+	if c1.Transform != 0 || len(c1.Flows) != 1 || c1.Flows[0] != 1 {
+		t.Fatalf("second child wrong: %+v", c1)
+	}
+	if got := tr.Root.NumFlows(); got != 3 {
+		t.Fatalf("NumFlows = %d, want 3", got)
+	}
+}
+
+func TestBuildTrieDuplicateFlows(t *testing.T) {
+	f := Flow{Indices: []int{1, 0, 1}}
+	tr := BuildTrie([]Flow{f, f, f})
+	if tr.Nodes != 3 {
+		t.Fatalf("three identical flows should share one path: Nodes = %d, want 3", tr.Nodes)
+	}
+	n := tr.Root
+	for _, want := range f.Indices {
+		if len(n.Children) != 1 {
+			t.Fatalf("expected a single chain, node has %d children", len(n.Children))
+		}
+		n = n.Children[0]
+		if n.Transform != want {
+			t.Fatalf("child transform = %d, want %d", n.Transform, want)
+		}
+	}
+	if len(n.Flows) != 3 {
+		t.Fatalf("terminal should list all 3 duplicates, got %v", n.Flows)
+	}
+	if tr.SharedSteps() != 6 {
+		t.Fatalf("SharedSteps = %d, want 6 (9 direct steps - 3 trie nodes)", tr.SharedSteps())
+	}
+}
+
+func TestBuildTriePrefixSharing(t *testing.T) {
+	flows := []Flow{
+		{Indices: []int{0, 1, 2}},
+		{Indices: []int{0, 1, 3}},
+		{Indices: []int{0, 2, 3}},
+	}
+	tr := BuildTrie(flows)
+	// Paths: 0; 0-1; 0-1-2; 0-1-3; 0-2; 0-2-3 -> 6 nodes vs 9 direct steps.
+	if tr.Nodes != 6 || tr.Steps != 9 {
+		t.Fatalf("Nodes=%d Steps=%d, want 6, 9", tr.Nodes, tr.Steps)
+	}
+	depths := map[int]int{}
+	var walk func(n *TrieNode)
+	walk = func(n *TrieNode) {
+		depths[n.Depth]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	if depths[0] != 1 || depths[1] != 1 || depths[2] != 2 || depths[3] != 3 {
+		t.Fatalf("depth histogram wrong: %v", depths)
+	}
+}
+
+func TestBuildTrieCoversRandomBatch(t *testing.T) {
+	space := NewSpace([]string{"a", "b", "c"}, 2)
+	rng := rand.New(rand.NewSource(5))
+	flows := space.RandomUnique(rng, 40)
+	tr := BuildTrie(flows)
+	if tr.Steps != 40*space.Length() {
+		t.Fatalf("Steps = %d, want %d", tr.Steps, 40*space.Length())
+	}
+	if tr.Nodes >= tr.Steps {
+		t.Fatalf("random batch should share prefixes: Nodes=%d Steps=%d", tr.Nodes, tr.Steps)
+	}
+	// Every flow index appears exactly once among terminals, at full depth.
+	seen := make([]int, len(flows))
+	var walk func(n *TrieNode)
+	walk = func(n *TrieNode) {
+		for _, fi := range n.Flows {
+			seen[fi]++
+			if n.Depth != space.Length() {
+				t.Fatalf("flow %d terminates at depth %d, want %d", fi, n.Depth, space.Length())
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	for fi, c := range seen {
+		if c != 1 {
+			t.Fatalf("flow %d terminal count = %d, want 1", fi, c)
+		}
+	}
+}

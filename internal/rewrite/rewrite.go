@@ -150,6 +150,7 @@ func Rewrite(g *aig.AIG, zero bool) *aig.AIG {
 	cuts := cut.Enumerate(g, 4, 8)
 	lib := make(factorLib, 256)
 	ids := g.LiveAnds()
+	var scratch []aig.Lit // leaf-literal buffer reused across candidates
 
 	for _, id := range ids {
 		if !g.IsAnd(id) || g.Ref(id) == 0 {
@@ -173,7 +174,7 @@ func Rewrite(g *aig.AIG, zero bool) *aig.AIG {
 			tt16 := uint16(c.TT.Words()[0] & 0xFFFF)
 			e := lib.get(tt16, func() (*sop.Expr, bool) { return sop.FactorTT(c.TT) })
 			freed := g.BeginSpeculate(id)
-			newLit := buildLeaves(g, e, c.Leaves)
+			newLit := buildLeaves(g, e, c.Leaves, &scratch)
 			if newLit.Node() == id {
 				g.AbortSpeculate(id)
 				continue
@@ -194,7 +195,7 @@ func Rewrite(g *aig.AIG, zero bool) *aig.AIG {
 		tt16 := uint16(c.TT.Words()[0] & 0xFFFF)
 		e := lib.get(tt16, func() (*sop.Expr, bool) { return sop.FactorTT(c.TT) })
 		freed := g.BeginSpeculate(id)
-		newLit := buildLeaves(g, e, c.Leaves)
+		newLit := buildLeaves(g, e, c.Leaves, &scratch)
 		if newLit.Node() == id {
 			g.AbortSpeculate(id)
 			continue
@@ -230,12 +231,15 @@ func leavesUsable(g *aig.AIG, root int, leaves []int) bool {
 }
 
 // buildLeaves constructs the factored expression over cut leaves in g and
-// returns the output literal, honoring the inversion flag.
-func buildLeaves(g *aig.AIG, e libEntry, leaves []int) aig.Lit {
-	lits := make([]aig.Lit, len(leaves))
-	for i, l := range leaves {
-		lits[i] = aig.MakeLit(l, false)
+// returns the output literal, honoring the inversion flag. scratch is a
+// pass-owned buffer reused across candidates (sop.BuildAIG does not
+// retain the slice), which keeps the per-cut inner loop allocation-free.
+func buildLeaves(g *aig.AIG, e libEntry, leaves []int, scratch *[]aig.Lit) aig.Lit {
+	lits := (*scratch)[:0]
+	for _, l := range leaves {
+		lits = append(lits, aig.MakeLit(l, false))
 	}
+	*scratch = lits
 	return sop.BuildAIG(g, e.expr, lits).NotIf(e.inv)
 }
 
@@ -279,6 +283,7 @@ func refactorK(g *aig.AIG, zero bool, k int, depthAware bool) *aig.AIG {
 	g.RecomputeLevels()
 	cache := make(map[string]coneCacheEntry)
 	ids := g.LiveAnds()
+	var lits []aig.Lit // leaf-literal buffer reused across cones
 	for _, id := range ids {
 		if !g.IsAnd(id) || g.Ref(id) == 0 {
 			continue
@@ -321,9 +326,9 @@ func refactorK(g *aig.AIG, zero bool, k int, depthAware bool) *aig.AIG {
 		}
 		oldLevel := g.Level(id)
 		freed := g.BeginSpeculate(id)
-		lits := make([]aig.Lit, len(leaves))
-		for i, l := range leaves {
-			lits[i] = aig.MakeLit(l, false)
+		lits = lits[:0]
+		for _, l := range leaves {
+			lits = append(lits, aig.MakeLit(l, false))
 		}
 		newLit := sop.BuildAIG(g, expr, lits).NotIf(inv)
 		if newLit.Node() == id {
@@ -347,6 +352,15 @@ func refactorK(g *aig.AIG, zero bool, k int, depthAware bool) *aig.AIG {
 
 // Apply runs the named transformations in sequence and returns the final
 // graph along with per-step statistics.
+//
+// After every transformation the graph is renumbered into Cleanup's
+// DFS-canonical form. Transformations are deterministic functions of the
+// concrete representation (node numbering included), so canonicalizing
+// each intermediate state makes structurally identical states
+// representation-identical regardless of which transformation produced
+// them; the prefix-memoized evaluation engine (internal/synth) relies on
+// this to merge convergent flows under aig.StructuralFingerprint, and
+// every other Apply caller gets the same flow semantics.
 func Apply(g *aig.AIG, names []string) (*aig.AIG, []aig.Stats, error) {
 	stats := make([]aig.Stats, 0, len(names))
 	for _, n := range names {
@@ -354,8 +368,16 @@ func Apply(g *aig.AIG, names []string) (*aig.AIG, []aig.Stats, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		g = t(g)
+		g = Step(t, g)
 		stats = append(stats, g.Stats())
 	}
 	return g, stats, nil
+}
+
+// Step applies one transformation and canonicalizes the result. This is
+// the unit of flow execution shared by Apply and the memoized batch
+// evaluator; both must use it so their intermediate states coincide
+// bit-for-bit.
+func Step(t Transform, g *aig.AIG) *aig.AIG {
+	return t(g).Cleanup()
 }

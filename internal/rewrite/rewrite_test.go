@@ -284,3 +284,53 @@ func TestFlowWithFraigExtension(t *testing.T) {
 		t.Fatal("fraig-extended flow changed function")
 	}
 }
+
+// TestApplyEqualsChainedSteps pins the invariant the prefix-memoized
+// evaluation engine (internal/synth) depends on: Apply is exactly the
+// composition of Step calls, so an evaluator that walks a flow
+// step-by-step (caching intermediate graphs) reproduces Apply's final
+// graph bit-for-bit.
+func TestApplyEqualsChainedSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	names := []string{"balance", "rewrite", "refactor -z", "restructure", "rewrite -z", "refactor"}
+	g := buildRandom(rng, 8, 150)
+	manual := g.Clone()
+	viaApply, stats, err := Apply(g, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(names) {
+		t.Fatalf("Apply returned %d stats, want %d", len(stats), len(names))
+	}
+	for _, name := range names {
+		tr, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manual = Step(tr, manual)
+	}
+	if viaApply.StructuralFingerprint() != manual.StructuralFingerprint() {
+		t.Fatal("Apply and chained Steps diverged")
+	}
+}
+
+// TestStepDeterministicOnClones: a Step on a bit-exact clone must
+// reproduce the original's result representation-identically (the memo
+// engine hands clones of cached intermediate graphs to sibling
+// prefixes).
+func TestStepDeterministicOnClones(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, name := range append(append([]string(nil), Names...), "fraig") {
+		tr, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := buildRandom(rng, 8, 120)
+		c := g.Clone()
+		a := Step(tr, g)
+		b := Step(tr, c)
+		if a.StructuralFingerprint() != b.StructuralFingerprint() {
+			t.Fatalf("%s diverged between a graph and its clone", name)
+		}
+	}
+}

@@ -58,21 +58,31 @@ type Engine struct {
 	Space   flow.Space
 	MapMode techmap.Mode
 	Workers int
+	// Memo selects the prefix-memoized batch evaluator (memo.go) for
+	// EvaluateAll. It returns bit-identical QoRs to the direct path while
+	// sharing work across flows with common prefixes and convergent
+	// intermediate graphs; disable it to force one independent synthesis
+	// run per flow (e.g. for baseline timing).
+	Memo bool
 
 	master  *aig.AIG
 	matcher *techmap.Matcher
+	memo    *memoTable
 	evals   atomic.Int64
 }
 
 // NewEngine builds an engine for the design with the paper's default
 // mapping setup (delay-oriented mapping on the synthetic 14nm library).
+// Memoized batch evaluation is enabled by default.
 func NewEngine(design *aig.AIG, space flow.Space) *Engine {
 	return &Engine{
 		Space:   space,
 		MapMode: techmap.DelayMode,
 		Workers: runtime.NumCPU(),
+		Memo:    true,
 		master:  design.Cleanup(),
 		matcher: techmap.NewMatcher(cells.New14nm()),
+		memo:    newMemoTable(),
 	}
 }
 
@@ -91,6 +101,12 @@ func (e *Engine) Evaluate(f flow.Flow) (QoR, error) {
 	if err := e.Space.Validate(f); err != nil {
 		return QoR{}, err
 	}
+	return e.evaluateValidated(f)
+}
+
+// evaluateValidated is the direct evaluation path; the flow must already
+// be validated against the engine's space.
+func (e *Engine) evaluateValidated(f flow.Flow) (QoR, error) {
 	g := e.master.Cleanup()
 	g, _, err := rewrite.Apply(g, f.Names(e.Space))
 	if err != nil {
@@ -108,9 +124,25 @@ func (e *Engine) Evaluate(f flow.Flow) (QoR, error) {
 }
 
 // EvaluateAll evaluates the flows with a worker pool, preserving input
-// order in the result. progress (if non-nil) is called after each
-// completed evaluation with the number done so far.
+// order in the result. The whole batch is validated up front, so a
+// malformed flow fails fast before any synthesis work starts.
+//
+// progress (if non-nil) is called after each completed evaluation with
+// the number done so far. It is invoked concurrently from worker
+// goroutines; callers that touch shared state from it must synchronize.
+//
+// When e.Memo is set (the default from NewEngine) the batch runs on the
+// prefix-memoized engine, which returns bit-identical QoRs while
+// applying each distinct transformation prefix only once.
 func (e *Engine) EvaluateAll(flows []flow.Flow, progress func(done int)) ([]QoR, error) {
+	for i, f := range flows {
+		if err := e.Space.Validate(f); err != nil {
+			return nil, fmt.Errorf("synth: flow %d: %w", i, err)
+		}
+	}
+	if e.Memo {
+		return e.evaluateAllMemo(flows, progress)
+	}
 	out := make([]QoR, len(flows))
 	errs := make([]error, len(flows))
 	workers := e.Workers
@@ -132,7 +164,7 @@ func (e *Engine) EvaluateAll(flows []flow.Flow, progress func(done int)) ([]QoR,
 				if i >= len(flows) {
 					return
 				}
-				out[i], errs[i] = e.Evaluate(flows[i])
+				out[i], errs[i] = e.evaluateValidated(flows[i])
 				d := done.Add(1)
 				if progress != nil {
 					progress(int(d))

@@ -8,6 +8,7 @@ package techmap
 
 import (
 	"math"
+	"sync"
 
 	"flowgen/internal/aig"
 	"flowgen/internal/cells"
@@ -185,6 +186,42 @@ func (nl *Netlist) Simulate(piVals map[int]bool) []bool {
 	return out
 }
 
+// dpState holds the per-node/per-phase mapping DP arrays. Batch QoR
+// collection calls Map once per flow, and these three slices dominated
+// its allocation churn, so they are pooled and reused across Map calls
+// (from any goroutine — each Get hands a private state).
+type dpState struct {
+	cost [][2]float64
+	arr  [][2]float64
+	sel  [][2]choice
+}
+
+var dpPool = sync.Pool{New: func() any { return new(dpState) }}
+
+// reset sizes the arrays for n nodes and restores the DP identity
+// (infinite cost, no selection), clearing stale selections from the
+// previous use so no old cut-leaf slices are mistaken for valid choices.
+func (s *dpState) reset(n int) {
+	if cap(s.cost) < n {
+		s.cost = make([][2]float64, n)
+		s.arr = make([][2]float64, n)
+		s.sel = make([][2]choice, n)
+	}
+	s.cost = s.cost[:n]
+	s.arr = s.arr[:n]
+	s.sel = s.sel[:n]
+	inf := math.Inf(1)
+	for i := range s.cost {
+		s.cost[i] = [2]float64{inf, inf}
+		s.arr[i] = [2]float64{inf, inf}
+		s.sel[i] = [2]choice{}
+	}
+	// Also drop selections beyond n so one large mapping doesn't pin its
+	// cut-leaf slices for the pool's lifetime while smaller graphs reuse
+	// this state.
+	clear(s.sel[n:cap(s.sel)])
+}
+
 // Map covers the graph with library cells and returns the QoR. The graph
 // is not modified (beyond ref/level recomputation).
 func Map(g *aig.AIG, matcher *Matcher, mode Mode) QoR {
@@ -203,13 +240,10 @@ func MapNetlist(g *aig.AIG, matcher *Matcher, mode Mode) (QoR, *Netlist) {
 
 	// DP state per node and phase (0 = positive, 1 = negative).
 	n := g.NumNodesRaw()
-	cost := make([][2]float64, n)
-	arr := make([][2]float64, n)
-	sel := make([][2]choice, n)
-	for i := range cost {
-		cost[i] = [2]float64{math.Inf(1), math.Inf(1)}
-		arr[i] = [2]float64{math.Inf(1), math.Inf(1)}
-	}
+	st := dpPool.Get().(*dpState)
+	st.reset(n)
+	defer dpPool.Put(st)
+	cost, arr, sel := st.cost, st.arr, st.sel
 	// Constant node: free in both phases.
 	cost[0] = [2]float64{0, 0}
 	arr[0] = [2]float64{0, 0}
@@ -305,7 +339,7 @@ func MapNetlist(g *aig.AIG, matcher *Matcher, mode Mode) (QoR, *Netlist) {
 	})
 
 	// Cover extraction from the primary outputs.
-	materialized := make(map[Net]float64) // -> arrival of materialized net
+	materialized := make(map[Net]float64, n) // -> arrival of materialized net
 	q := QoR{GateCounts: make(map[string]int)}
 	nl := &Netlist{Lib: lib}
 	addGate := func(cellIdx int, inputs []Net, out Net) {
@@ -385,7 +419,7 @@ func MapNetlist(g *aig.AIG, matcher *Matcher, mode Mode) (QoR, *Netlist) {
 // delay is its library delay plus LoadSlopePs per fanout beyond the
 // first. Gates are in topological order by construction.
 func (nl *Netlist) CriticalPath() float64 {
-	fanout := make(map[Net]int, len(nl.Gates))
+	fanout := make(map[Net]int, 2*len(nl.Gates))
 	for _, gt := range nl.Gates {
 		for _, in := range gt.Inputs {
 			fanout[in]++
