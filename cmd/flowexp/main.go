@@ -35,6 +35,7 @@ func main() {
 		numOut     = flag.Int("out", 0, "flows to select (0 = pool/25)")
 		seed       = flag.Int64("seed", 11, "random seed")
 		memo       = flag.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
+		predW      = flag.Int("predworkers", 0, "pool-prediction workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 
 	base := exp.DefaultRunConfig(space, metric)
 	base.StepsPerRound = *steps
+	base.PredictWorkers = *predW
 	if *numOut > 0 {
 		base.NumOut = *numOut
 	} else {

@@ -187,6 +187,10 @@ func (fw *Framework) Run(progress Progress) (*Result, error) {
 	res := &Result{Net: net, TrainFlows: flows}
 	var model *label.Model
 	steps := 0
+	// One-hot encodings are a pure function of the flow, but every
+	// retraining round rebuilds the dataset over all flows labeled so
+	// far — memoize them so each flow is encoded exactly once per run.
+	encCache := make([][]float64, len(flows))
 
 	labeled := 0
 	for labeled < cfg.TrainFlows {
@@ -213,7 +217,7 @@ func (fw *Framework) Run(progress Progress) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds := fw.buildDataset(flows[:labeled], qors, model)
+		ds := fw.buildDataset(flows[:labeled], qors, model, encCache)
 		trainer.SetData(ds)
 
 		tTrain := time.Now()
@@ -250,12 +254,18 @@ func (fw *Framework) Run(progress Progress) (*Result, error) {
 	return res, nil
 }
 
-// buildDataset encodes labeled flows for the CNN.
-func (fw *Framework) buildDataset(flows []flow.Flow, qors []synth.QoR, model *label.Model) *train.Dataset {
+// buildDataset encodes labeled flows for the CNN. encCache (indexed by
+// flow position) memoizes one-hot encodings across retraining rounds;
+// the class labels are still recomputed every round because the
+// determinators move as the dataset grows.
+func (fw *Framework) buildDataset(flows []flow.Flow, qors []synth.QoR, model *label.Model, encCache [][]float64) *train.Dataset {
 	cfg := fw.Cfg
 	ds := &train.Dataset{H: cfg.EncodeH, W: cfg.EncodeW, NumCl: model.NumClasses()}
 	for i, f := range flows {
-		ds.Add(f.Encode(cfg.Space, cfg.EncodeH, cfg.EncodeW), model.Class(qors[i]))
+		if encCache[i] == nil {
+			encCache[i] = f.Encode(cfg.Space, cfg.EncodeH, cfg.EncodeW)
+		}
+		ds.Add(encCache[i], model.Class(qors[i]))
 	}
 	return ds
 }
@@ -285,15 +295,25 @@ func (fw *Framework) GeneratePool(exclude []flow.Flow) []flow.Flow {
 	return out
 }
 
-// PredictPool classifies every pool flow.
+// PredictPool classifies every pool flow through the batched network,
+// sharding the pool across a prediction worker pool (GOMAXPROCS
+// workers). Results are deterministic and identical to per-flow
+// prediction regardless of sharding.
 func (fw *Framework) PredictPool(net *nn.Network, pool []flow.Flow) []ScoredFlow {
 	cfg := fw.Cfg
+	if len(pool) == 0 {
+		return nil
+	}
+	hw := cfg.EncodeH * cfg.EncodeW
+	x := tensor.New(len(pool), 1, cfg.EncodeH, cfg.EncodeW)
+	for i, f := range pool {
+		copy(x.Data[i*hw:(i+1)*hw], f.Encode(cfg.Space, cfg.EncodeH, cfg.EncodeW))
+	}
+	probs := net.PredictBatch(x, 0)
 	out := make([]ScoredFlow, len(pool))
 	for i, f := range pool {
-		x := tensor.FromSlice(f.Encode(cfg.Space, cfg.EncodeH, cfg.EncodeW), 1, cfg.EncodeH, cfg.EncodeW)
-		probs := net.Predict(x)
-		cls := train.Argmax(probs)
-		out[i] = ScoredFlow{Flow: f, Class: cls, Confidence: probs[cls], Probs: probs}
+		cls := train.Argmax(probs[i])
+		out[i] = ScoredFlow{Flow: f, Class: cls, Confidence: probs[i][cls], Probs: probs[i]}
 	}
 	return out
 }

@@ -11,6 +11,8 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"strings"
+	"sync"
 	"time"
 
 	"flowgen/internal/aig"
@@ -24,10 +26,6 @@ import (
 	"flowgen/internal/train"
 )
 
-func tensorFrom(x []float64, h, w int) *tensor.Tensor {
-	return tensor.FromSlice(x, 1, h, w)
-}
-
 // Bundle is a pre-collected experiment dataset: labeled training flows
 // plus a ground-truth-labeled sample pool for accuracy measurement.
 type Bundle struct {
@@ -40,6 +38,56 @@ type Bundle struct {
 	SynthTime  time.Duration // wall time spent synthesizing everything
 	PerFlowAvg time.Duration
 	Memo       synth.MemoStats // work sharing achieved during collection
+
+	// One-hot encoding memos. Replays encode the same flows every
+	// retraining round and across every compared configuration, so the
+	// bundle caches them per image shape (all current architectures share
+	// the EncodeShape-derived shape).
+	encMu   sync.Mutex
+	encH    int
+	encW    int
+	flowEnc [][]float64
+	poolEnc *tensor.Tensor
+}
+
+// EncodedFlows returns the h×w one-hot encodings of the training flows,
+// memoized across retraining rounds and replays.
+func (b *Bundle) EncodedFlows(h, w int) [][]float64 {
+	b.encMu.Lock()
+	defer b.encMu.Unlock()
+	b.ensureShapeLocked(h, w)
+	if b.flowEnc == nil {
+		b.flowEnc = make([][]float64, len(b.Flows))
+		for i, f := range b.Flows {
+			b.flowEnc[i] = f.Encode(b.Space, h, w)
+		}
+	}
+	return b.flowEnc
+}
+
+// EncodedPool returns the pool as one batched N×1×h×w tensor, memoized.
+// The tensor is shared — callers must treat it as read-only (prediction
+// does).
+func (b *Bundle) EncodedPool(h, w int) *tensor.Tensor {
+	b.encMu.Lock()
+	defer b.encMu.Unlock()
+	b.ensureShapeLocked(h, w)
+	if b.poolEnc == nil {
+		b.poolEnc = tensor.New(len(b.Pool), 1, h, w)
+		for i, f := range b.Pool {
+			copy(b.poolEnc.Data[i*h*w:(i+1)*h*w], f.Encode(b.Space, h, w))
+		}
+	}
+	return b.poolEnc
+}
+
+// ensureShapeLocked invalidates the memos when the requested image shape
+// changes (possible only if a caller overrides the EncodeShape default).
+func (b *Bundle) ensureShapeLocked(h, w int) {
+	if b.encH != h || b.encW != w {
+		b.encH, b.encW = h, w
+		b.flowEnc, b.poolEnc = nil, nil
+	}
 }
 
 // Collect evaluates trainN training flows and poolN disjoint sample
@@ -102,6 +150,9 @@ type RunConfig struct {
 	StepsPerRound  int
 	NumOut         int
 	Seed           int64
+	// PredictWorkers shards pool prediction and accuracy evaluation
+	// across this many workers (≤0 selects GOMAXPROCS).
+	PredictWorkers int
 }
 
 // DefaultRunConfig mirrors the paper's protocol at harness scale.
@@ -154,9 +205,10 @@ func RunIncremental(b *Bundle, rc RunConfig) ([]CurvePoint, *nn.Network, *label.
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		enc := b.EncodedFlows(h, w)
 		ds := &train.Dataset{H: h, W: w, NumCl: model.NumClasses()}
 		for i := 0; i < labeled; i++ {
-			ds.Add(b.Flows[i].Encode(b.Space, h, w), model.Class(b.QoRs[i]))
+			ds.Add(enc[i], model.Class(b.QoRs[i]))
 		}
 		trainer.SetData(ds)
 		tTrain := time.Now()
@@ -172,7 +224,7 @@ func RunIncremental(b *Bundle, rc RunConfig) ([]CurvePoint, *nn.Network, *label.
 			Labeled:  labeled,
 			Steps:    steps,
 			Loss:     loss,
-			TrainAcc: train.Accuracy(net, ds),
+			TrainAcc: train.AccuracyWorkers(net, ds, rc.PredictWorkers),
 			GenAcc:   GeneratedAccuracy(b, net, model, rc, h, w),
 			SimTime:  simTime,
 		})
@@ -184,7 +236,7 @@ func RunIncremental(b *Bundle, rc RunConfig) ([]CurvePoint, *nn.Network, *label.
 // pool, select NumOut angel and devil flows, and score them against the
 // pool's ground-truth classes under the current labeling model.
 func GeneratedAccuracy(b *Bundle, net *nn.Network, model *label.Model, rc RunConfig, h, w int) float64 {
-	preds := predictPool(b, net, h, w)
+	preds := predictPool(b, net, h, w, rc.PredictWorkers)
 	angels, devils := core.SelectFlows(preds, model.NumClasses(), rc.NumOut)
 	// Ground-truth class per pool index.
 	truth := make(map[string]int, len(b.Pool))
@@ -211,13 +263,12 @@ func GeneratedAccuracy(b *Bundle, net *nn.Network, model *label.Model, rc RunCon
 	return float64(correct) / float64(total)
 }
 
-func predictPool(b *Bundle, net *nn.Network, h, w int) []core.ScoredFlow {
+func predictPool(b *Bundle, net *nn.Network, h, w, workers int) []core.ScoredFlow {
+	probs := net.PredictBatch(b.EncodedPool(h, w), workers)
 	out := make([]core.ScoredFlow, len(b.Pool))
 	for i, f := range b.Pool {
-		x := f.Encode(b.Space, h, w)
-		probs := net.Predict(tensorFrom(x, h, w))
-		cls := train.Argmax(probs)
-		out[i] = core.ScoredFlow{Flow: f, Class: cls, Confidence: probs[cls], Probs: probs}
+		cls := train.Argmax(probs[i])
+		out[i] = core.ScoredFlow{Flow: f, Class: cls, Confidence: probs[i][cls], Probs: probs[i]}
 	}
 	return out
 }
@@ -233,7 +284,7 @@ type Selection struct {
 // measured QoRs from the pool ground truth.
 func SelectWithTruth(b *Bundle, net *nn.Network, model *label.Model, rc RunConfig) Selection {
 	h, w := rc.Arch.InH, rc.Arch.InW
-	preds := predictPool(b, net, h, w)
+	preds := predictPool(b, net, h, w, rc.PredictWorkers)
 	angels, devils := core.SelectFlows(preds, model.NumClasses(), rc.NumOut)
 	byKey := make(map[string]synth.QoR, len(b.Pool))
 	for i, f := range b.Pool {
@@ -260,10 +311,11 @@ func Metrics(qors []synth.QoR, m synth.Metric) []float64 {
 
 // FormatCurve renders a curve as CSV rows.
 func FormatCurve(name string, curve []CurvePoint) string {
-	s := fmt.Sprintf("# %s\nround,labeled,steps,loss,train_acc,gen_acc,sim_seconds\n", name)
+	var s strings.Builder
+	fmt.Fprintf(&s, "# %s\nround,labeled,steps,loss,train_acc,gen_acc,sim_seconds\n", name)
 	for _, p := range curve {
-		s += fmt.Sprintf("%d,%d,%d,%.4f,%.4f,%.4f,%.1f\n",
+		fmt.Fprintf(&s, "%d,%d,%d,%.4f,%.4f,%.4f,%.1f\n",
 			p.Round, p.Labeled, p.Steps, p.Loss, p.TrainAcc, p.GenAcc, p.SimTime.Seconds())
 	}
-	return s
+	return s.String()
 }

@@ -53,7 +53,7 @@ func FastArch(numClasses int) ArchConfig {
 }
 
 // Build instantiates the network with deterministic initialization from
-// the seed.
+// the seed. The network is batch-first: feed it N×1×InH×InW tensors.
 func (cfg ArchConfig) Build(seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
 	n := &Network{}

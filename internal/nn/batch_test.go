@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowgen/internal/tensor"
+)
+
+// diffNets builds two identically initialized networks so batched and
+// per-sample execution can run with independent retained state.
+func diffNets(cfg ArchConfig, seed int64) (*Network, *Network) {
+	return cfg.Build(seed), cfg.Build(seed)
+}
+
+// randBatch fills an N×1×H×W batch with deterministic noise.
+func randBatch(seed int64, n, h, w int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, 1, h, w)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// runDifferential checks that one batched forward/backward pass over n
+// samples matches n single-sample passes: identical argmax, logits and
+// accumulated parameter/input gradients within tol, and PredictBatch
+// probabilities equal to per-sample Predict.
+func runDifferential(t *testing.T, cfg ArchConfig, n int, seed int64) {
+	t.Helper()
+	const tol = 1e-9
+	batched, single := diffNets(cfg, seed)
+	x := randBatch(seed+1, n, cfg.InH, cfg.InW)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % cfg.NumClasses
+	}
+
+	// Batched pass.
+	batched.ZeroGrads()
+	logitsB := batched.Forward(x, false)
+	_, gradB := SparseSoftmaxCEBatch(logitsB, labels)
+	batched.Backward(gradB)
+
+	// Per-sample passes accumulating into the same gradient blocks.
+	single.ZeroGrads()
+	c := logitsB.Shape[1]
+	for s := 0; s < n; s++ {
+		xs := x.BatchView(s, s+1)
+		logitsS := single.Forward(xs, false)
+		_, gradS := SparseSoftmaxCE(logitsS.Data, labels[s])
+		single.Backward(tensor.FromSlice(gradS, 1, len(gradS)))
+
+		rowB := logitsB.Data[s*c : (s+1)*c]
+		if argmax(rowB) != argmax(logitsS.Data) {
+			t.Fatalf("sample %d: batched argmax %d != single argmax %d",
+				s, argmax(rowB), argmax(logitsS.Data))
+		}
+		for j := range rowB {
+			if math.Abs(rowB[j]-logitsS.Data[j]) > tol {
+				t.Fatalf("sample %d logit %d: batched %v, single %v",
+					s, j, rowB[j], logitsS.Data[j])
+			}
+		}
+	}
+
+	// Accumulated parameter gradients of the summed batch must agree.
+	pb, ps := batched.Params(), single.Params()
+	for bi := range pb {
+		for i := range pb[bi].Grad {
+			gB, gS := pb[bi].Grad[i], ps[bi].Grad[i]
+			if math.Abs(gB-gS) > tol*(1+math.Abs(gS)) {
+				t.Fatalf("param block %d index %d: batched grad %v, single grad %v",
+					bi, i, gB, gS)
+			}
+		}
+	}
+
+	// Parallel PredictBatch equals per-sample Predict exactly (per-sample
+	// numerics are independent of batching and sharding).
+	probsB := batched.PredictBatch(x, 3)
+	for s := 0; s < n; s++ {
+		probsS := single.Predict(x.SampleView(s))
+		for j := range probsS {
+			if math.Abs(probsB[s][j]-probsS[j]) > tol {
+				t.Fatalf("sample %d prob %d: PredictBatch %v, Predict %v",
+					s, j, probsB[s][j], probsS[j])
+			}
+		}
+		if argmax(probsB[s]) != argmax(probsS) {
+			t.Fatalf("sample %d: PredictBatch argmax != Predict argmax", s)
+		}
+	}
+}
+
+// argmax returns the index of the largest element (test-local helper).
+func argmax(xs []float64) int {
+	best, bi := xs[0], 0
+	for i, v := range xs[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// TestBatchedMatchesSingleFastArch runs the differential over the full
+// FastArch layer stack (conv, pool, locally connected, dense, SELU).
+func TestBatchedMatchesSingleFastArch(t *testing.T) {
+	runDifferential(t, FastArch(7), 7, 101)
+}
+
+// TestBatchedMatchesSinglePaperArch runs the differential over the
+// paper-scale architecture (200 filters, 6×12 kernels, pool stride 1).
+func TestBatchedMatchesSinglePaperArch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale differential is minutes of GEMM work")
+	}
+	runDifferential(t, PaperArch(7), 2, 202)
+}
+
+// TestBatchedMatchesSinglePerLayer exercises every layer type in
+// isolation, including the activations not used by the arch configs.
+func TestBatchedMatchesSinglePerLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	build := func(seed int64) *Network {
+		r := rand.New(rand.NewSource(seed))
+		return &Network{Layers: []Layer{
+			NewConv2D(r, 1, 3, 2, 4), // even kernel: asymmetric padding
+			NewActLayer(ReLU6),
+			NewMaxPool2D(2, 2, 1), // stride 1 pooling (paper setting)
+			NewConv2D(r, 3, 2, 3, 3),
+			NewActLayer(Softplus),
+			NewMaxPool2D(2, 2, 2),
+			NewLocallyConnected2D(r, 2, 2, 2, 3, 2, 2),
+			NewActLayer(Softsign),
+			&Flatten{},
+			NewDense(r, 3, 6),
+			NewActLayer(ELU),
+			NewDense(r, 6, 4),
+		}}
+	}
+	const n, tol = 5, 1e-9
+	batched, single := build(77), build(77)
+	x := tensor.New(n, 1, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{0, 1, 2, 3, 1}
+
+	batched.ZeroGrads()
+	logitsB := batched.Forward(x, false)
+	_, gradB := SparseSoftmaxCEBatch(logitsB, labels)
+	batched.Backward(gradB)
+
+	single.ZeroGrads()
+	for s := 0; s < n; s++ {
+		logitsS := single.Forward(x.BatchView(s, s+1), false)
+		for j := range logitsS.Data {
+			if math.Abs(logitsS.Data[j]-logitsB.Data[s*4+j]) > tol {
+				t.Fatalf("sample %d logit %d diverges", s, j)
+			}
+		}
+		_, gradS := SparseSoftmaxCE(logitsS.Data, labels[s])
+		single.Backward(tensor.FromSlice(gradS, 1, len(gradS)))
+	}
+	pb, ps := batched.Params(), single.Params()
+	for bi := range pb {
+		for i := range pb[bi].Grad {
+			if math.Abs(pb[bi].Grad[i]-ps[bi].Grad[i]) > tol*(1+math.Abs(ps[bi].Grad[i])) {
+				t.Fatalf("param block %d index %d gradient diverges", bi, i)
+			}
+		}
+	}
+}
+
+// TestPredictBatchDeterministicAcrossWorkers verifies that sharding the
+// same pool across different worker counts yields identical floats.
+func TestPredictBatchDeterministicAcrossWorkers(t *testing.T) {
+	net := FastArch(5).Build(4)
+	x := randBatch(11, 150, 12, 12)
+	base := net.PredictBatch(x, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := net.PredictBatch(x, workers)
+		for s := range base {
+			for j := range base[s] {
+				if got[s][j] != base[s][j] {
+					t.Fatalf("workers=%d sample %d prob %d: %v != %v",
+						workers, s, j, got[s][j], base[s][j])
+				}
+			}
+		}
+	}
+}
+
+// TestDropoutBatchMask checks the batched dropout mask: inference is the
+// identity for the whole batch, training masks per element with the
+// inverted-dropout scale, and backward reuses the same mask.
+func TestDropoutBatchMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDropout(rng, 0.4)
+	x := tensor.New(8, 50)
+	x.Fill(1)
+	if out := d.Forward(x, false); out != x {
+		t.Fatal("inference dropout must pass the batch through")
+	}
+	out := d.Forward(x, true)
+	scale := 1 / (1 - 0.4)
+	kept := 0
+	for _, v := range out.Data {
+		if v != 0 {
+			if math.Abs(v-scale) > 1e-12 {
+				t.Fatalf("survivor scaled to %v, want %v", v, scale)
+			}
+			kept++
+		}
+	}
+	if kept < 150 || kept > 330 {
+		t.Fatalf("kept %d of 400 at rate 0.4", kept)
+	}
+	g := tensor.New(8, 50)
+	g.Fill(1)
+	back := d.Backward(g)
+	for i := range back.Data {
+		if (out.Data[i] == 0) != (back.Data[i] == 0) {
+			t.Fatal("backward mask mismatch")
+		}
+	}
+}

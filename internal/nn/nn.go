@@ -4,12 +4,24 @@
 // activation functions of Figure 7, and sparse softmax cross-entropy.
 // Everything is float64 with explicit backpropagation, gradient-checked
 // in the tests.
+//
+// The stack is batch-first: every layer takes and returns tensors with
+// an explicit leading batch dimension (N×C×H×W for the convolutional
+// stages, N×D after Flatten), convolutions and dense layers execute as
+// im2col+GEMM (internal/tensor), and Network.PredictBatch shards large
+// batches across a worker pool. Per-sample numerics are independent of
+// batch composition — every kernel fixes the accumulation order per
+// output element — so batched and single-sample execution agree to
+// floating-point noise and parallel prediction is deterministic.
 package nn
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"flowgen/internal/tensor"
 )
@@ -24,13 +36,21 @@ func newParam(n int) *Param {
 	return &Param{Data: make([]float64, n), Grad: make([]float64, n)}
 }
 
-// Layer is a differentiable network stage. Forward must retain whatever
-// it needs for the following Backward call (single-sample pipelines).
+// Layer is a differentiable network stage over batched tensors (leading
+// dimension = batch). Forward must retain whatever it needs for the
+// following Backward call, so a Layer value serves one pipeline at a
+// time; InferenceClone produces cheap parameter-sharing copies for
+// concurrent forward-only use.
 type Layer interface {
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	Backward(grad *tensor.Tensor) *tensor.Tensor
 	Params() []*Param
 	Name() string
+	// InferenceClone returns a shallow copy sharing the learnable
+	// parameters but owning its own retained-activation state, safe for
+	// concurrent forward passes with train=false. The clone must not be
+	// trained.
+	InferenceClone() Layer
 }
 
 // glorot initializes w uniformly in ±sqrt(6/(fanIn+fanOut)).
@@ -41,13 +61,29 @@ func glorot(rng *rand.Rand, w []float64, fanIn, fanOut int) {
 	}
 }
 
+// checkBatch4 validates an N×C×H×W input.
+func checkBatch4(name string, x *tensor.Tensor, wantC int) {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: %s expects a batched N×C×H×W tensor, got shape %v", name, x.Shape))
+	}
+	if x.Shape[1] != wantC {
+		panic(fmt.Sprintf("nn: %s expects %d input channels, got %d", name, wantC, x.Shape[1]))
+	}
+}
+
 // ---------------------------------------------------------------- Conv2D
 
-// Conv2D is a stride-1, same-padding 2-D convolution over CHW tensors.
+// Conv2D is a stride-1, same-padding 2-D convolution over batched
+// N×C×H×W tensors, executed as im2col+GEMM per sample: the kernel tensor
+// is a (OutC)×(InC·KH·KW) matrix multiplied against the lowered patch
+// matrix of each image.
 type Conv2D struct {
 	InC, OutC, KH, KW int
 	W, B              *Param
 	lastIn            *tensor.Tensor
+	cols              []float64 // blocked im2col scratch
+	gemmOut           []float64 // blocked GEMM output scratch
+	dcols             []float64 // backward patch-gradient scratch
 }
 
 // NewConv2D builds a convolution layer with Glorot initialization.
@@ -61,36 +97,81 @@ func NewConv2D(rng *rand.Rand, inC, outC, kh, kw int) *Conv2D {
 func (c *Conv2D) Name() string     { return fmt.Sprintf("conv%dx%dx%d", c.OutC, c.KH, c.KW) }
 func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 
-func (c *Conv2D) widx(oc, ic, ky, kx int) int {
-	return ((oc*c.InC+ic)*c.KH+ky)*c.KW + kx
+// InferenceClone shares W and B but owns its scratch buffers.
+func (c *Conv2D) InferenceClone() Layer {
+	return &Conv2D{InC: c.InC, OutC: c.OutC, KH: c.KH, KW: c.KW, W: c.W, B: c.B}
 }
 
-// Forward computes the same-padded convolution.
+func (c *Conv2D) scratch(k, hw int) []float64 {
+	if cap(c.cols) < k*hw {
+		c.cols = make([]float64, k*hw)
+	}
+	return c.cols[:k*hw]
+}
+
+// convBlockBudget caps the blocked patch-matrix size (in float64s, 8 MB)
+// so the multi-sample GEMM blocking below never balloons memory at
+// paper-arch channel counts, where a single sample's patch matrix is
+// already megabytes.
+const convBlockBudget = 1 << 20
+
+// blockSamples picks how many samples share one patch matrix and GEMM.
+func blockSamples(k, hw, n int) int {
+	bs := convBlockBudget / (k * hw)
+	if bs < 1 {
+		bs = 1
+	}
+	if bs > n {
+		bs = n
+	}
+	return bs
+}
+
+// Forward computes the same-padded convolution for the whole batch.
+// Samples are processed in blocks that share one im2col patch matrix and
+// one GEMM: the multiply's inner loops then span block×H·W columns, so
+// throughput does not collapse on small feature maps. Per-element
+// accumulation order is unchanged by blocking, so results are identical
+// for any batch or block size.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch4(c.Name(), x, c.InC)
 	c.lastIn = x
-	h, w := x.Shape[1], x.Shape[2]
-	out := tensor.New(c.OutC, h, w)
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	hw := h * w
+	k := c.InC * c.KH * c.KW
+	out := tensor.New(n, c.OutC, h, w)
 	padY, padX := (c.KH-1)/2, (c.KW-1)/2
-	for oc := 0; oc < c.OutC; oc++ {
-		for y := 0; y < h; y++ {
-			for xx := 0; xx < w; xx++ {
-				sum := c.B.Data[oc]
-				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.KH; ky++ {
-						iy := y + ky - padY
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < c.KW; kx++ {
-							ix := xx + kx - padX
-							if ix < 0 || ix >= w {
-								continue
-							}
-							sum += c.W.Data[c.widx(oc, ic, ky, kx)] * x.At(ic, iy, ix)
-						}
-					}
-				}
-				out.Set(sum, oc, y, xx)
+	bs := blockSamples(k, hw, n)
+	cols := c.scratch(k, bs*hw)
+	if cap(c.gemmOut) < c.OutC*bs*hw {
+		c.gemmOut = make([]float64, c.OutC*bs*hw)
+	}
+	for s0 := 0; s0 < n; s0 += bs {
+		m := bs
+		if s0+m > n {
+			m = n - s0
+		}
+		for s := 0; s < m; s++ {
+			tensor.Im2ColBlock(x.Data[(s0+s)*c.InC*hw:(s0+s+1)*c.InC*hw], c.InC, h, w,
+				c.KH, c.KW, padY, padX, h, w, cols, bs*hw, s*hw)
+		}
+		tmp := c.gemmOut[:c.OutC*m*hw]
+		// Seed each output row with its bias so the GEMM accumulates on
+		// top of it and the scatter below is a straight copy.
+		for oc := 0; oc < c.OutC; oc++ {
+			row := tmp[oc*m*hw : (oc+1)*m*hw]
+			b := c.B.Data[oc]
+			for i := range row {
+				row[i] = b
+			}
+		}
+		// tmp (OutC × m·HW) += W · cols; note cols rows keep stride bs·hw.
+		tensor.GemmStrided(c.OutC, m*hw, k, c.W.Data, cols, bs*hw, tmp)
+		// Scatter the oc-major GEMM output into the N×C×H×W layout.
+		for s := 0; s < m; s++ {
+			outS := out.Data[(s0+s)*c.OutC*hw : (s0+s+1)*c.OutC*hw]
+			for oc := 0; oc < c.OutC; oc++ {
+				copy(outS[oc*hw:(oc+1)*hw], tmp[oc*m*hw+s*hw:oc*m*hw+(s+1)*hw])
 			}
 		}
 	}
@@ -98,50 +179,52 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward accumulates weight gradients and returns the input gradient.
+// The im2col lowering is recomputed per sample rather than cached from
+// Forward: it is O(K·HW) copying against the GEMM's O(OutC·K·HW) flops,
+// and keeping it would pin batch×K×HW floats across the step.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.lastIn
-	h, w := x.Shape[1], x.Shape[2]
-	dx := tensor.New(c.InC, h, w)
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	hw := h * w
+	k := c.InC * c.KH * c.KW
+	dx := tensor.New(x.Shape...)
 	padY, padX := (c.KH-1)/2, (c.KW-1)/2
-	for oc := 0; oc < c.OutC; oc++ {
-		for y := 0; y < h; y++ {
-			for xx := 0; xx < w; xx++ {
-				g := grad.At(oc, y, xx)
-				if g == 0 {
-					continue
-				}
-				c.B.Grad[oc] += g
-				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.KH; ky++ {
-						iy := y + ky - padY
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < c.KW; kx++ {
-							ix := xx + kx - padX
-							if ix < 0 || ix >= w {
-								continue
-							}
-							wi := c.widx(oc, ic, ky, kx)
-							c.W.Grad[wi] += g * x.At(ic, iy, ix)
-							dx.Data[dx.Idx(ic, iy, ix)] += g * c.W.Data[wi]
-						}
-					}
-				}
+	cols := c.scratch(k, hw)
+	if cap(c.dcols) < k*hw {
+		c.dcols = make([]float64, k*hw)
+	}
+	dcols := c.dcols[:k*hw]
+	for s := 0; s < n; s++ {
+		g := grad.Data[s*c.OutC*hw : (s+1)*c.OutC*hw]
+		for oc := 0; oc < c.OutC; oc++ {
+			sum := 0.0
+			for _, gv := range g[oc*hw : (oc+1)*hw] {
+				sum += gv
 			}
+			c.B.Grad[oc] += sum
 		}
+		tensor.Im2Col(x.Data[s*c.InC*hw:(s+1)*c.InC*hw], c.InC, h, w,
+			c.KH, c.KW, padY, padX, h, w, cols)
+		// dW (OutC×K) += G (OutC×HW) · colsᵀ (HW×K)
+		tensor.GemmTB(c.OutC, k, hw, g, cols, c.W.Grad)
+		// dcols (K×HW) = Wᵀ (K×OutC) · G (OutC×HW)
+		for i := range dcols {
+			dcols[i] = 0
+		}
+		tensor.GemmTA(k, hw, c.OutC, c.W.Data, g, dcols)
+		tensor.Col2Im(dcols, c.InC, h, w, c.KH, c.KW, padY, padX, h, w,
+			dx.Data[s*c.InC*hw:(s+1)*c.InC*hw])
 	}
 	return dx
 }
 
 // ------------------------------------------------------------- MaxPool2D
 
-// MaxPool2D is a valid-padding max pooling layer.
+// MaxPool2D is a valid-padding max pooling layer over batched tensors.
 type MaxPool2D struct {
 	KH, KW, Stride int
 	lastIn         *tensor.Tensor
 	argmax         []int // flat input index per output element
-	outShape       []int
 }
 
 // NewMaxPool2D builds a pooling layer (the paper uses 2×2 kernels; the
@@ -153,34 +236,46 @@ func NewMaxPool2D(kh, kw, stride int) *MaxPool2D {
 func (p *MaxPool2D) Name() string     { return fmt.Sprintf("maxpool%dx%ds%d", p.KH, p.KW, p.Stride) }
 func (p *MaxPool2D) Params() []*Param { return nil }
 
-// Forward computes the pooled tensor.
+// InferenceClone returns a state-independent copy.
+func (p *MaxPool2D) InferenceClone() Layer {
+	return &MaxPool2D{KH: p.KH, KW: p.KW, Stride: p.Stride}
+}
+
+// Forward computes the pooled batch.
 func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: %s expects a batched N×C×H×W tensor, got shape %v", p.Name(), x.Shape))
+	}
 	p.lastIn = x
-	ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh := (h-p.KH)/p.Stride + 1
 	ow := (w-p.KW)/p.Stride + 1
-	out := tensor.New(ch, oh, ow)
-	p.argmax = make([]int, out.Size())
-	p.outShape = out.Shape
+	out := tensor.New(n, ch, oh, ow)
+	if cap(p.argmax) < out.Size() {
+		p.argmax = make([]int, out.Size())
+	}
+	p.argmax = p.argmax[:out.Size()]
 	oi := 0
-	for c := 0; c < ch; c++ {
-		for y := 0; y < oh; y++ {
-			for xx := 0; xx < ow; xx++ {
-				best := math.Inf(-1)
-				bestIdx := -1
-				for ky := 0; ky < p.KH; ky++ {
-					for kx := 0; kx < p.KW; kx++ {
-						iy, ix := y*p.Stride+ky, xx*p.Stride+kx
-						idx := x.Idx(c, iy, ix)
-						if v := x.Data[idx]; v > best {
-							best = v
-							bestIdx = idx
+	for s := 0; s < n; s++ {
+		for c := 0; c < ch; c++ {
+			plane := (s*ch + c) * h * w
+			for y := 0; y < oh; y++ {
+				for xx := 0; xx < ow; xx++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.KH; ky++ {
+						rowBase := plane + (y*p.Stride+ky)*w + xx*p.Stride
+						for kx := 0; kx < p.KW; kx++ {
+							if v := x.Data[rowBase+kx]; v > best {
+								best = v
+								bestIdx = rowBase + kx
+							}
 						}
 					}
+					out.Data[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
 				}
-				out.Data[oi] = best
-				p.argmax[oi] = bestIdx
-				oi++
 			}
 		}
 	}
@@ -200,12 +295,16 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // LocallyConnected2D is a convolution-like layer with untied weights per
 // output position (TensorFlow's "locally connected" layer used in the
-// paper's architecture). Valid padding, stride 1.
+// paper's architecture). Valid padding, stride 1. Weights for one output
+// position form a contiguous (OutC)×(InC·KH·KW) block, applied to a
+// gathered input patch — a small per-position matrix-vector product over
+// the whole batch.
 type LocallyConnected2D struct {
 	InC, OutC, KH, KW int
 	OH, OW            int
 	W, B              *Param
 	lastIn            *tensor.Tensor
+	patch             []float64
 }
 
 // NewLocallyConnected2D builds the layer for a fixed input size.
@@ -225,26 +324,54 @@ func (l *LocallyConnected2D) Name() string {
 }
 func (l *LocallyConnected2D) Params() []*Param { return []*Param{l.W, l.B} }
 
-func (l *LocallyConnected2D) widx(y, x, oc, ic, ky, kx int) int {
-	return ((((y*l.OW+x)*l.OutC+oc)*l.InC+ic)*l.KH+ky)*l.KW + kx
+// InferenceClone shares W and B but owns its patch scratch.
+func (l *LocallyConnected2D) InferenceClone() Layer {
+	return &LocallyConnected2D{InC: l.InC, OutC: l.OutC, KH: l.KH, KW: l.KW,
+		OH: l.OH, OW: l.OW, W: l.W, B: l.B}
 }
 
-// Forward computes the locally connected response.
+// gatherPatch copies the (ic,ky,kx)-ordered input patch at output
+// position (y,x) of sample slice xs into l.patch.
+func (l *LocallyConnected2D) gatherPatch(xs []float64, ih, iw, y, x int) []float64 {
+	k := l.InC * l.KH * l.KW
+	if cap(l.patch) < k {
+		l.patch = make([]float64, k)
+	}
+	patch := l.patch[:k]
+	pi := 0
+	for ic := 0; ic < l.InC; ic++ {
+		base := (ic*ih+y)*iw + x
+		for ky := 0; ky < l.KH; ky++ {
+			copy(patch[pi:pi+l.KW], xs[base+ky*iw:base+ky*iw+l.KW])
+			pi += l.KW
+		}
+	}
+	return patch
+}
+
+// Forward computes the locally connected response for the batch.
 func (l *LocallyConnected2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch4(l.Name(), x, l.InC)
 	l.lastIn = x
-	out := tensor.New(l.OutC, l.OH, l.OW)
-	for y := 0; y < l.OH; y++ {
-		for xx := 0; xx < l.OW; xx++ {
-			for oc := 0; oc < l.OutC; oc++ {
-				sum := l.B.Data[(y*l.OW+xx)*l.OutC+oc]
-				for ic := 0; ic < l.InC; ic++ {
-					for ky := 0; ky < l.KH; ky++ {
-						for kx := 0; kx < l.KW; kx++ {
-							sum += l.W.Data[l.widx(y, xx, oc, ic, ky, kx)] * x.At(ic, y+ky, xx+kx)
-						}
+	n, ih, iw := x.Shape[0], x.Shape[2], x.Shape[3]
+	out := tensor.New(n, l.OutC, l.OH, l.OW)
+	k := l.InC * l.KH * l.KW
+	for s := 0; s < n; s++ {
+		xs := x.Data[s*l.InC*ih*iw : (s+1)*l.InC*ih*iw]
+		os := out.Data[s*l.OutC*l.OH*l.OW : (s+1)*l.OutC*l.OH*l.OW]
+		for y := 0; y < l.OH; y++ {
+			for xx := 0; xx < l.OW; xx++ {
+				patch := l.gatherPatch(xs, ih, iw, y, xx)
+				pos := y*l.OW + xx
+				wBase := pos * l.OutC * k
+				for oc := 0; oc < l.OutC; oc++ {
+					wrow := l.W.Data[wBase+oc*k : wBase+(oc+1)*k]
+					sum := l.B.Data[pos*l.OutC+oc]
+					for i, wv := range wrow {
+						sum += wv * patch[i]
 					}
+					os[(oc*l.OH+y)*l.OW+xx] = sum
 				}
-				out.Set(sum, oc, y, xx)
 			}
 		}
 	}
@@ -254,21 +381,36 @@ func (l *LocallyConnected2D) Forward(x *tensor.Tensor, train bool) *tensor.Tenso
 // Backward accumulates untied weight gradients.
 func (l *LocallyConnected2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := l.lastIn
+	n, ih, iw := x.Shape[0], x.Shape[2], x.Shape[3]
 	dx := tensor.New(x.Shape...)
-	for y := 0; y < l.OH; y++ {
-		for xx := 0; xx < l.OW; xx++ {
-			for oc := 0; oc < l.OutC; oc++ {
-				g := grad.At(oc, y, xx)
-				if g == 0 {
-					continue
-				}
-				l.B.Grad[(y*l.OW+xx)*l.OutC+oc] += g
-				for ic := 0; ic < l.InC; ic++ {
-					for ky := 0; ky < l.KH; ky++ {
-						for kx := 0; kx < l.KW; kx++ {
-							wi := l.widx(y, xx, oc, ic, ky, kx)
-							l.W.Grad[wi] += g * x.At(ic, y+ky, xx+kx)
-							dx.Data[dx.Idx(ic, y+ky, xx+kx)] += g * l.W.Data[wi]
+	k := l.InC * l.KH * l.KW
+	for s := 0; s < n; s++ {
+		xs := x.Data[s*l.InC*ih*iw : (s+1)*l.InC*ih*iw]
+		dxs := dx.Data[s*l.InC*ih*iw : (s+1)*l.InC*ih*iw]
+		gs := grad.Data[s*l.OutC*l.OH*l.OW : (s+1)*l.OutC*l.OH*l.OW]
+		for y := 0; y < l.OH; y++ {
+			for xx := 0; xx < l.OW; xx++ {
+				patch := l.gatherPatch(xs, ih, iw, y, xx)
+				pos := y*l.OW + xx
+				wBase := pos * l.OutC * k
+				for oc := 0; oc < l.OutC; oc++ {
+					g := gs[(oc*l.OH+y)*l.OW+xx]
+					if g == 0 {
+						continue
+					}
+					l.B.Grad[pos*l.OutC+oc] += g
+					wrow := l.W.Data[wBase+oc*k : wBase+(oc+1)*k]
+					growRow := l.W.Grad[wBase+oc*k : wBase+(oc+1)*k]
+					pi := 0
+					for ic := 0; ic < l.InC; ic++ {
+						base := (ic*ih+y)*iw + xx
+						for ky := 0; ky < l.KH; ky++ {
+							dst := dxs[base+ky*iw : base+ky*iw+l.KW]
+							for kx := range dst {
+								growRow[pi] += g * patch[pi]
+								dst[kx] += g * wrow[pi]
+								pi++
+							}
 						}
 					}
 				}
@@ -280,7 +422,8 @@ func (l *LocallyConnected2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // ----------------------------------------------------------------- Dense
 
-// Dense is a fully connected layer over flattened inputs.
+// Dense is a fully connected layer over flattened batched inputs: the
+// forward pass is one GEMM Y = X·Wᵀ + b over the whole N×In batch.
 type Dense struct {
 	In, Out int
 	W, B    *Param
@@ -297,40 +440,46 @@ func NewDense(rng *rand.Rand, in, out int) *Dense {
 func (d *Dense) Name() string     { return fmt.Sprintf("dense%d", d.Out) }
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
-// Forward computes Wx+b over the flattened input.
+// InferenceClone shares W and B.
+func (d *Dense) InferenceClone() Layer {
+	return &Dense{In: d.In, Out: d.Out, W: d.W, B: d.B}
+}
+
+// Forward computes X·Wᵀ+b over the batch (any per-sample shape whose
+// element count is In).
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	if x.Size() != d.In {
-		panic(fmt.Sprintf("nn: dense expects %d inputs, got %v", d.In, x.Shape))
+	n := x.Batch()
+	if x.SampleSize() != d.In {
+		panic(fmt.Sprintf("nn: dense expects %d inputs per sample, got %v", d.In, x.Shape))
 	}
 	d.lastIn = x
-	out := tensor.New(d.Out)
-	for o := 0; o < d.Out; o++ {
-		sum := d.B.Data[o]
-		row := d.W.Data[o*d.In : (o+1)*d.In]
-		for i, xv := range x.Data {
-			sum += row[i] * xv
+	out := tensor.New(n, d.Out)
+	tensor.GemmTB(n, d.Out, d.In, x.Data, d.W.Data, out.Data)
+	for s := 0; s < n; s++ {
+		row := out.Data[s*d.Out : (s+1)*d.Out]
+		for o, b := range d.B.Data {
+			row[o] += b
 		}
-		out.Data[o] = sum
 	}
 	return out
 }
 
 // Backward accumulates gradients and returns dL/dx with the input's shape.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(d.lastIn.Shape...)
-	for o := 0; o < d.Out; o++ {
-		g := grad.Data[o]
-		if g == 0 {
-			continue
-		}
-		d.B.Grad[o] += g
-		row := d.W.Data[o*d.In : (o+1)*d.In]
-		growRow := d.W.Grad[o*d.In : (o+1)*d.In]
-		for i, xv := range d.lastIn.Data {
-			growRow[i] += g * xv
-			dx.Data[i] += g * row[i]
+	x := d.lastIn
+	n := x.Batch()
+	// dB += column sums of G (N×Out).
+	for s := 0; s < n; s++ {
+		row := grad.Data[s*d.Out : (s+1)*d.Out]
+		for o, g := range row {
+			d.B.Grad[o] += g
 		}
 	}
+	// dW (Out×In) += Gᵀ (Out×N) · X (N×In).
+	tensor.GemmTA(d.Out, d.In, n, grad.Data, x.Data, d.W.Grad)
+	// dX (N×In) = G (N×Out) · W (Out×In).
+	dx := tensor.New(x.Shape...)
+	tensor.Gemm(n, d.In, d.Out, grad.Data, d.W.Data, dx.Data)
 	return dx
 }
 
@@ -338,7 +487,8 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Dropout randomly zeroes activations during training with the given
 // rate, scaling survivors by 1/(1-rate) (inverted dropout); inference is
-// the identity. The paper uses rate 0.4.
+// the identity. The paper uses rate 0.4. The mask spans the whole batch,
+// drawn in sample order from the layer's deterministic stream.
 type Dropout struct {
 	Rate float64
 	rng  *rand.Rand
@@ -352,6 +502,13 @@ func NewDropout(rng *rand.Rand, rate float64) *Dropout {
 
 func (d *Dropout) Name() string     { return fmt.Sprintf("dropout%.1f", d.Rate) }
 func (d *Dropout) Params() []*Param { return nil }
+
+// InferenceClone returns an inference-only copy: it has no random
+// stream, so training through a clone panics loudly instead of racing on
+// the parent's generator.
+func (d *Dropout) InferenceClone() Layer {
+	return &Dropout{Rate: d.Rate}
+}
 
 // Forward applies the mask in training mode.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -385,16 +542,19 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // --------------------------------------------------------------- Flatten
 
-// Flatten reshapes to a vector.
+// Flatten reshapes each sample to a vector, keeping the batch dimension.
 type Flatten struct{ lastShape []int }
 
 func (f *Flatten) Name() string     { return "flatten" }
 func (f *Flatten) Params() []*Param { return nil }
 
-// Forward flattens the tensor.
+// InferenceClone returns a state-independent copy.
+func (f *Flatten) InferenceClone() Layer { return &Flatten{} }
+
+// Forward flattens the per-sample dimensions.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.lastShape = x.Shape
-	return x.Reshape(x.Size())
+	return x.Reshape(x.Batch(), x.SampleSize())
 }
 
 // Backward restores the stored shape.
@@ -404,7 +564,7 @@ func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // -------------------------------------------------------------- ActLayer
 
-// ActLayer applies a pointwise activation.
+// ActLayer applies a pointwise activation (batch-shape agnostic).
 type ActLayer struct {
 	Act    Activation
 	lastIn *tensor.Tensor
@@ -415,6 +575,9 @@ func NewActLayer(a Activation) *ActLayer { return &ActLayer{Act: a} }
 
 func (a *ActLayer) Name() string     { return a.Act.String() }
 func (a *ActLayer) Params() []*Param { return nil }
+
+// InferenceClone returns a state-independent copy.
+func (a *ActLayer) InferenceClone() Layer { return &ActLayer{Act: a.Act} }
 
 // Forward applies the activation.
 func (a *ActLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -442,7 +605,7 @@ type Network struct {
 	Layers []Layer
 }
 
-// Forward runs all layers.
+// Forward runs all layers over the batched input.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range n.Layers {
 		x = l.Forward(x, train)
@@ -485,6 +648,18 @@ func (n *Network) ZeroGrads() {
 	}
 }
 
+// InferenceClone returns a network whose layers share this network's
+// parameters but own their retained-activation state, so clones can run
+// concurrent forward passes (train=false) safely. Clones must not be
+// trained and do not see a training-mode dropout stream.
+func (n *Network) InferenceClone() *Network {
+	c := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		c.Layers[i] = l.InferenceClone()
+	}
+	return c
+}
+
 // Softmax converts logits to probabilities (numerically stable).
 func Softmax(logits []float64) []float64 {
 	max := math.Inf(-1)
@@ -516,7 +691,88 @@ func SparseSoftmaxCE(logits []float64, label int) (float64, []float64) {
 	return -math.Log(p[label] + eps), grad
 }
 
-// Predict returns class probabilities for one input.
+// SparseSoftmaxCEBatch computes the mean sparse softmax cross-entropy
+// loss over an N×C logits batch and the per-sample logit gradients
+// (unscaled — average the accumulated parameter gradients by the batch
+// size afterwards, e.g. with opt.ScaleGrads).
+func SparseSoftmaxCEBatch(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	grad := tensor.New(n, c)
+	var total float64
+	for s := 0; s < n; s++ {
+		l, g := SparseSoftmaxCE(logits.Data[s*c:(s+1)*c], labels[s])
+		total += l
+		copy(grad.Data[s*c:(s+1)*c], g)
+	}
+	return total / float64(n), grad
+}
+
+// Predict returns class probabilities for one input (C×H×W, or batched
+// with a leading 1).
 func (n *Network) Predict(x *tensor.Tensor) []float64 {
+	if len(x.Shape) == 3 {
+		x = x.Reshape(append([]int{1}, x.Shape...)...)
+	}
+	if x.Shape[0] != 1 {
+		panic(fmt.Sprintf("nn: Predict takes one sample, got batch %d (use PredictBatch)", x.Shape[0]))
+	}
 	return Softmax(n.Forward(x, false).Data)
+}
+
+// predictChunk bounds how many samples one forward pass processes during
+// pool prediction, keeping per-worker scratch memory flat regardless of
+// pool size.
+const predictChunk = 64
+
+// PredictBatch returns class probabilities for every sample of a batched
+// input, sharding chunks of the batch across workers (≤0 selects
+// GOMAXPROCS). Each worker runs an InferenceClone, and per-sample
+// numerics are independent of chunking, so the result is deterministic
+// and identical to per-sample Predict calls.
+func (n *Network) PredictBatch(x *tensor.Tensor, workers int) [][]float64 {
+	total := x.Batch()
+	out := make([][]float64, total)
+	if total == 0 {
+		return out
+	}
+	chunks := (total + predictChunk - 1) / predictChunk
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		clone := n
+		if workers > 1 {
+			clone = n.InferenceClone()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= chunks {
+					return
+				}
+				lo := ci * predictChunk
+				hi := lo + predictChunk
+				if hi > total {
+					hi = total
+				}
+				logits := clone.Forward(x.BatchView(lo, hi), false)
+				c := logits.Shape[1]
+				for i := lo; i < hi; i++ {
+					out[i] = Softmax(logits.Data[(i-lo)*c : (i-lo+1)*c])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }

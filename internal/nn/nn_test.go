@@ -116,11 +116,11 @@ func buildTinyNet(seed int64) *Network {
 }
 
 // TestGradientCheck verifies analytic parameter gradients against central
-// differences through the full layer stack.
+// differences through the full layer stack (batch of 1).
 func TestGradientCheck(t *testing.T) {
 	net := buildTinyNet(42)
 	rng := rand.New(rand.NewSource(7))
-	x := tensor.New(1, 6, 6)
+	x := tensor.New(1, 1, 6, 6)
 	for i := range x.Data {
 		x.Data[i] = rng.NormFloat64()
 	}
@@ -135,7 +135,7 @@ func TestGradientCheck(t *testing.T) {
 	net.ZeroGrads()
 	logits := net.Forward(x, false)
 	_, grad := SparseSoftmaxCE(logits.Data, label)
-	net.Backward(tensor.FromSlice(grad, len(grad)))
+	net.Backward(tensor.FromSlice(grad, 1, len(grad)))
 
 	const h = 1e-6
 	checked := 0
@@ -165,7 +165,7 @@ func TestGradientCheck(t *testing.T) {
 func TestGradientCheckInput(t *testing.T) {
 	net := buildTinyNet(43)
 	rng := rand.New(rand.NewSource(8))
-	x := tensor.New(1, 6, 6)
+	x := tensor.New(1, 1, 6, 6)
 	for i := range x.Data {
 		x.Data[i] = rng.NormFloat64()
 	}
@@ -174,7 +174,7 @@ func TestGradientCheckInput(t *testing.T) {
 	logits := net.Forward(x, false)
 	_, grad := SparseSoftmaxCE(logits.Data, label)
 	dx := grad
-	g := tensor.FromSlice(dx, len(dx))
+	g := tensor.FromSlice(dx, 1, len(dx))
 	var inGrad *tensor.Tensor
 	// Manually propagate to capture the input gradient.
 	gg := g
@@ -243,7 +243,7 @@ func TestArchShapes(t *testing.T) {
 			continue
 		}
 		net := cfg.Build(1)
-		x := tensor.New(1, cfg.InH, cfg.InW)
+		x := tensor.New(1, 1, cfg.InH, cfg.InW)
 		out := net.Forward(x, false)
 		if out.Size() != 7 {
 			t.Fatalf("logits size %d, want 7", out.Size())
@@ -277,7 +277,7 @@ func TestArchDeterministicInit(t *testing.T) {
 
 func BenchmarkForwardFastArch(b *testing.B) {
 	net := FastArch(7).Build(1)
-	x := tensor.New(1, 12, 12)
+	x := tensor.New(1, 1, 12, 12)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -285,14 +285,18 @@ func BenchmarkForwardFastArch(b *testing.B) {
 	}
 }
 
+// TestSaveLoadWeightsRoundTrip proves weight persistence through the
+// batched network: a whole batch predicted before saving must match the
+// same batch predicted by a differently seeded network after loading.
 func TestSaveLoadWeightsRoundTrip(t *testing.T) {
 	net := FastArch(7).Build(21)
-	x := tensor.New(1, 12, 12)
+	const batch = 6
+	x := tensor.New(batch, 1, 12, 12)
 	rng := rand.New(rand.NewSource(5))
 	for i := range x.Data {
 		x.Data[i] = rng.Float64()
 	}
-	before := net.Predict(x)
+	before := net.PredictBatch(x, 2)
 
 	var buf bytes.Buffer
 	if err := net.SaveWeights(&buf); err != nil {
@@ -301,8 +305,8 @@ func TestSaveLoadWeightsRoundTrip(t *testing.T) {
 	// A differently seeded network predicts differently until loaded.
 	other := FastArch(7).Build(99)
 	differs := false
-	for i, p := range other.Predict(x) {
-		if math.Abs(p-before[i]) > 1e-9 {
+	for i, p := range other.PredictBatch(x, 2)[0] {
+		if math.Abs(p-before[0][i]) > 1e-9 {
 			differs = true
 		}
 	}
@@ -312,10 +316,19 @@ func TestSaveLoadWeightsRoundTrip(t *testing.T) {
 	if err := other.LoadWeights(&buf); err != nil {
 		t.Fatal(err)
 	}
-	after := other.Predict(x)
-	for i := range before {
-		if math.Abs(before[i]-after[i]) > 1e-12 {
-			t.Fatalf("prediction changed after load: %v vs %v", before, after)
+	after := other.PredictBatch(x, 2)
+	for s := 0; s < batch; s++ {
+		for i := range before[s] {
+			if math.Abs(before[s][i]-after[s][i]) > 1e-12 {
+				t.Fatalf("sample %d prediction changed after load: %v vs %v", s, before[s], after[s])
+			}
+		}
+	}
+	// The single-sample convenience path agrees with the batched one.
+	single := other.Predict(x.SampleView(0))
+	for i := range single {
+		if math.Abs(single[i]-after[0][i]) > 1e-12 {
+			t.Fatalf("Predict disagrees with PredictBatch: %v vs %v", single, after[0])
 		}
 	}
 }

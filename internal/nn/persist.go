@@ -10,7 +10,10 @@ import (
 // architecture itself is not serialized — callers rebuild it from its
 // ArchConfig (deterministic given the seed) and load weights into it,
 // which keeps the format small and forward-compatible with architecture
-// code changes.
+// code changes. Only Param blocks are written, so the format is
+// unchanged by the batch-first execution rework: snapshots taken before
+// it load into the batched network (and vice versa) as long as the
+// architecture matches.
 type snapshot struct {
 	Blocks [][]float64
 }

@@ -12,9 +12,24 @@ import (
 )
 
 // Optimizer updates parameters in place from their accumulated gradients.
+// Gradients arrive summed over a minibatch by the batched backward pass;
+// the trainer averages them with ScaleGrads before calling Step, so the
+// per-parameter state of every optimizer sees the same mean-gradient
+// scale regardless of batch size.
 type Optimizer interface {
 	Step(params []*nn.Param)
 	Name() string
+}
+
+// ScaleGrads multiplies every accumulated gradient by f — typically
+// 1/batch, converting the gradient sum of one batched backward pass into
+// the batch-mean gradient the optimizers expect.
+func ScaleGrads(params []*nn.Param, f float64) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= f
+		}
+	}
 }
 
 // Names lists the optimizers in the paper's figure order.

@@ -43,6 +43,7 @@ type MemoStats struct {
 	TransformsRun  int // transformation applications actually executed
 	TransitionHits int // applications skipped via the convergence transition cache
 	EvictedMisses  int // known transitions recomputed because the target graph was evicted
+	VictimHits     int // evicted transition targets resurrected from the victim cache
 	MapCalls       int // technology-mapping runs executed
 	MapCacheHits   int // leaf evaluations served by the final-graph QoR cache
 	Clones         int // graph clones made for multi-consumer prefixes
@@ -71,13 +72,69 @@ type memoTable struct {
 	trans map[memoTransKey]aig.Fingerprint
 	qors  map[aig.Fingerprint]*qorFuture
 	stats MemoStats
+
+	// Victim cache: a bounded FIFO of graphs that were dropped without
+	// being consumed (released parents of convergence hits, duplicate
+	// final graphs, and just-mapped leaves). A transition whose known
+	// target was evicted from the live state set checks here before
+	// recomputing, turning a fraction of EvictedMisses into VictimHits.
+	victims   map[aig.Fingerprint]*aig.AIG
+	victimQ   []aig.Fingerprint
+	victimCap int
 }
+
+// defaultVictimCap bounds the victim cache. Graphs at experiment scale
+// are small (thousands of nodes), so a few dozen victims cost little
+// memory while catching the recomputed-transition tail (~1.5% of
+// transforms before the cache existed).
+const defaultVictimCap = 64
 
 func newMemoTable() *memoTable {
 	return &memoTable{
-		trans: make(map[memoTransKey]aig.Fingerprint),
-		qors:  make(map[aig.Fingerprint]*qorFuture),
+		trans:     make(map[memoTransKey]aig.Fingerprint),
+		qors:      make(map[aig.Fingerprint]*qorFuture),
+		victims:   make(map[aig.Fingerprint]*aig.AIG),
+		victimCap: defaultVictimCap,
 	}
+}
+
+// victimPutLocked stores an unconsumed graph under its fingerprint,
+// evicting the oldest victims beyond the cap. Must hold mu.
+func (t *memoTable) victimPutLocked(fp aig.Fingerprint, g *aig.AIG) {
+	if t.victimCap <= 0 || g == nil {
+		return
+	}
+	if _, dup := t.victims[fp]; dup {
+		return
+	}
+	// The queue may hold stale fingerprints already taken out of the
+	// map; pop until the map is actually below the cap.
+	for len(t.victims) >= t.victimCap && len(t.victimQ) > 0 {
+		old := t.victimQ[0]
+		t.victimQ = t.victimQ[1:]
+		delete(t.victims, old)
+	}
+	t.victims[fp] = g
+	t.victimQ = append(t.victimQ, fp)
+}
+
+// victimTakeLocked removes and returns the victim graph for fp, if
+// cached. The queue entry is dropped too: leaving it stale would evict a
+// later re-banked graph with the same fingerprint when the stale head
+// reached the FIFO front, and would let the queue grow without bound
+// under take-heavy replay workloads. Must hold mu.
+func (t *memoTable) victimTakeLocked(fp aig.Fingerprint) (*aig.AIG, bool) {
+	g, ok := t.victims[fp]
+	if ok {
+		delete(t.victims, fp)
+		for i, q := range t.victimQ {
+			if q == fp {
+				t.victimQ = append(t.victimQ[:i], t.victimQ[i+1:]...)
+				break
+			}
+		}
+	}
+	return g, ok
 }
 
 type memoTransKey struct {
@@ -151,10 +208,13 @@ func (m *memoEval) acquireLocked(s *memoState) *aig.AIG {
 	return s.g.Clone()
 }
 
-// releaseLocked drops one reference on s without using the graph.
+// releaseLocked drops one reference on s without using the graph. A
+// graph whose last reference is released (rather than taken) was never
+// consumed, so it moves to the victim cache for free.
 func (m *memoEval) releaseLocked(s *memoState) {
 	s.refs--
 	if s.refs == 0 {
+		m.tbl.victimPutLocked(s.fp, s.g)
 		s.g = nil
 		delete(m.states, s.fp)
 	}
@@ -165,6 +225,9 @@ func (m *memoEval) releaseLocked(s *memoState) {
 // prefix beat us to the same graph.
 func (m *memoEval) installLocked(fp aig.Fingerprint, g *aig.AIG, consumers int) *memoState {
 	if s, ok := m.states[fp]; ok {
+		// A convergent prefix beat us to this graph; the duplicate copy
+		// would be dropped, so bank it as a victim instead.
+		m.tbl.victimPutLocked(fp, g)
 		s.refs += consumers
 		return s
 	}
@@ -195,6 +258,13 @@ func (m *memoEval) run(t memoTask) {
 			m.tbl.stats.TransitionHits++
 			m.releaseLocked(t.parent)
 			fp, entry = f, s
+		} else if g, ok := m.tbl.victimTakeLocked(f); ok {
+			// The target was evicted but survives in the victim cache:
+			// resurrect it instead of recomputing the transformation.
+			m.tbl.stats.VictimHits++
+			m.releaseLocked(t.parent)
+			entry = m.installLocked(f, g, consumers)
+			fp = f
 		} else {
 			m.tbl.stats.EvictedMisses++
 		}
@@ -248,6 +318,13 @@ func (m *memoEval) finishFlows(n *flow.TrieNode, entry *memoState, fp aig.Finger
 		}
 		close(f.done)
 		q = f.q
+		// Mapping only recomputes the derived ref/level fields, which a
+		// canonical (Cleanup'd) graph already carries — the graph is still
+		// representation-identical to its transformation output, so it can
+		// serve as a victim for transitions targeting this fingerprint.
+		m.tbl.mu.Lock()
+		m.tbl.victimPutLocked(fp, g)
+		m.tbl.mu.Unlock()
 	}
 	for _, fi := range n.Flows {
 		m.out[fi] = q

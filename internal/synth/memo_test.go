@@ -5,6 +5,7 @@ import (
 	"os"
 	"testing"
 
+	"flowgen/internal/aig"
 	"flowgen/internal/circuits"
 	"flowgen/internal/flow"
 )
@@ -196,6 +197,106 @@ func TestMemoStatsAccumulateAcrossBatches(t *testing.T) {
 	}
 	if second.SpeedupFactor() < 1 {
 		t.Fatalf("speedup factor below 1: %+v", second)
+	}
+}
+
+// TestVictimCacheResurrectsEvictedTargets replays a batch on one engine:
+// the first pass banks unconsumed graphs in the victim cache as their
+// refcounts drain, and the replay — whose transition cache hits on every
+// prefix but whose live state set starts empty — must resurrect some of
+// them instead of recomputing, with QoRs still bit-identical to the
+// direct path.
+func TestVictimCacheResurrectsEvictedTargets(t *testing.T) {
+	e := NewEngine(circuits.ALU(8), smallSpace())
+	rng := rand.New(rand.NewSource(21))
+	flows := e.Space.RandomUnique(rng, 40)
+	first, err := e.EvaluateAll(flows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := e.EvaluateAll(flows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flows {
+		if first[i] != replay[i] {
+			t.Fatalf("flow %d: replay %+v != first %+v", i, replay[i], first[i])
+		}
+	}
+	st := e.MemoStats()
+	if st.VictimHits == 0 {
+		t.Fatalf("replay produced no victim hits: %+v", st)
+	}
+	d := NewEngine(circuits.ALU(8), e.Space)
+	d.Memo = false
+	direct, err := d.EvaluateAll(flows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flows {
+		if replay[i] != direct[i] {
+			t.Fatalf("flow %d: victim-cached %+v != direct %+v", i, replay[i], direct[i])
+		}
+	}
+}
+
+// TestVictimCacheBounded checks the FIFO bound of the victim cache.
+func TestVictimCacheBounded(t *testing.T) {
+	tbl := newMemoTable()
+	tbl.victimCap = 4
+	g := circuits.ALU(4)
+	for i := 0; i < 20; i++ {
+		tbl.victimPutLocked(aig.Fingerprint{uint64(i), uint64(i)}, g)
+		if len(tbl.victims) > tbl.victimCap {
+			t.Fatalf("victim cache grew to %d (cap %d)", len(tbl.victims), tbl.victimCap)
+		}
+	}
+	// The newest entries survive; the oldest were evicted.
+	if _, ok := tbl.victimTakeLocked(aig.Fingerprint{19, 19}); !ok {
+		t.Fatal("newest victim missing")
+	}
+	if _, ok := tbl.victimTakeLocked(aig.Fingerprint{0, 0}); ok {
+		t.Fatal("oldest victim should have been evicted")
+	}
+	// Taking removes the entry.
+	if _, ok := tbl.victimTakeLocked(aig.Fingerprint{19, 19}); ok {
+		t.Fatal("take must remove the victim")
+	}
+	// A zero cap disables the cache entirely.
+	tbl.victimCap = 0
+	tbl.victims = map[aig.Fingerprint]*aig.AIG{}
+	tbl.victimPutLocked(aig.Fingerprint{99, 99}, g)
+	if len(tbl.victims) != 0 {
+		t.Fatal("cap 0 must disable victim storage")
+	}
+}
+
+// TestVictimCacheTakeThenRebank pins the take-requeue interaction: a
+// fingerprint that is taken and later banked again must keep its fresh
+// FIFO position — a stale queue entry from the take must not evict the
+// re-banked graph early.
+func TestVictimCacheTakeThenRebank(t *testing.T) {
+	tbl := newMemoTable()
+	tbl.victimCap = 2
+	g := circuits.ALU(4)
+	fpA := aig.Fingerprint{1, 1}
+	fpB := aig.Fingerprint{2, 2}
+	fpC := aig.Fingerprint{3, 3}
+	tbl.victimPutLocked(fpA, g)
+	tbl.victimPutLocked(fpB, g)
+	if _, ok := tbl.victimTakeLocked(fpA); !ok {
+		t.Fatal("fpA should be cached")
+	}
+	tbl.victimPutLocked(fpA, g) // re-bank: fpA is now newest
+	tbl.victimPutLocked(fpC, g) // cap 2: must evict fpB, the true oldest
+	if _, ok := tbl.victims[fpA]; !ok {
+		t.Fatal("re-banked fpA was evicted by its stale queue entry")
+	}
+	if _, ok := tbl.victims[fpB]; ok {
+		t.Fatal("oldest entry fpB should have been evicted")
+	}
+	if _, ok := tbl.victims[fpC]; !ok {
+		t.Fatal("newest entry fpC missing")
 	}
 }
 

@@ -1,0 +1,211 @@
+// Batched-execution kernels: dense matrix multiplication in the three
+// transpose variants the neural-network layers need, plus the
+// im2col/col2im lowering that turns convolution into GEMM. All kernels
+// are written so that the accumulation order over the contraction
+// dimension is fixed per output element — results are independent of how
+// a batch is sharded across workers, which is what makes parallel pool
+// prediction deterministic.
+package tensor
+
+import "fmt"
+
+// Gemm computes C += A·B for row-major matrices: A is m×k, B is k×n and
+// C is m×n. The inner loops run over contiguous slices (ikj order), so
+// the contraction accumulates in ascending k for every C element.
+//
+// Zero A elements are skipped: one-hot flow encodings make the first
+// convolution's im2col matrix overwhelmingly sparse, and adding a zero
+// product is a no-op.
+func Gemm(m, n, k int, a, b, c []float64) {
+	checkGemm(m, n, k, len(a), len(b), len(c))
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for l, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bl := b[l*n : (l+1)*n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTA computes C += Aᵀ·B where A is stored k×m (so Aᵀ is m×k), B is
+// k×n and C is m×n. This is the shape of input-gradient and
+// weight-gradient products in backpropagation.
+func GemmTA(m, n, k int, a, b, c []float64) {
+	checkGemm(m, n, k, len(a), len(b), len(c))
+	for l := 0; l < k; l++ {
+		al := a[l*m : (l+1)*m]
+		bl := b[l*n : (l+1)*n]
+		for i, av := range al {
+			if av == 0 {
+				continue
+			}
+			ci := c[i*n : (i+1)*n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTB computes C += A·Bᵀ where A is m×k, B is stored n×k (so Bᵀ is
+// k×n) and C is m×n. Both operands stream row-major, which makes this
+// the fastest variant: it is the forward product of Dense layers
+// (X·Wᵀ with W stored out×in).
+func GemmTB(m, n, k int, a, b, c []float64) {
+	checkGemm(m, n, k, len(a), len(b), len(c))
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			sum := 0.0
+			for l, av := range ai {
+				sum += av * bj[l]
+			}
+			ci[j] += sum
+		}
+	}
+}
+
+// GemmStrided computes C += A·B where B's rows are laid out with an
+// explicit stride ≥ n (a blocked patch matrix whose final block uses
+// fewer columns than were allocated). The contraction is unrolled
+// two-wide — each pass over a C row folds in two A elements, halving the
+// row's load/store traffic; the pairing depends only on k, so results
+// stay independent of batch and block size. There is no zero skip: this
+// is the convolution forward kernel, whose A (the kernel matrix) is
+// dense.
+func GemmStrided(m, n, k int, a, b []float64, bStride int, c []float64) {
+	if bStride < n {
+		panic(fmt.Sprintf("tensor: gemm B stride %d < %d columns", bStride, n))
+	}
+	if len(a) < m*k || len(b) < (k-1)*bStride+n || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: strided gemm %dx%dx%d (stride %d) over slices of %d/%d/%d",
+			m, n, k, bStride, len(a), len(b), len(c)))
+	}
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		l := 0
+		for ; l+1 < k; l += 2 {
+			av0, av1 := ai[l], ai[l+1]
+			b0 := b[l*bStride : l*bStride+n]
+			b1 := b[(l+1)*bStride : (l+1)*bStride+n]
+			for j := range ci {
+				ci[j] += av0*b0[j] + av1*b1[j]
+			}
+		}
+		if l < k {
+			av := ai[l]
+			bl := b[l*bStride : l*bStride+n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+func checkGemm(m, n, k, la, lb, lc int) {
+	if la < m*k || lb < k*n || lc < m*n {
+		panic(fmt.Sprintf("tensor: gemm %dx%dx%d over slices of %d/%d/%d", m, n, k, la, lb, lc))
+	}
+}
+
+// Im2Col lowers one C×H×W image into the (C*KH*KW) × (OH*OW) patch
+// matrix of a stride-1 convolution with top/left padding padY/padX
+// (out-of-range inputs contribute zeros). Row r = (ic*KH+ky)*KW+kx holds
+// input channel ic at kernel offset (ky,kx); column q = y*OW+x is the
+// output position. dst must hold C*KH*KW*OH*OW elements and is fully
+// overwritten.
+func Im2Col(src []float64, c, h, w, kh, kw, padY, padX, oh, ow int, dst []float64) {
+	Im2ColBlock(src, c, h, w, kh, kw, padY, padX, oh, ow, dst, oh*ow, 0)
+}
+
+// Im2ColBlock is Im2Col writing into a wider patch matrix whose rows
+// have rowStride elements, placing this image's columns at colOff. It
+// lets several samples share one patch matrix — and therefore one GEMM —
+// which keeps the multiply's inner loops long even when a single image
+// has few output positions.
+func Im2ColBlock(src []float64, c, h, w, kh, kw, padY, padX, oh, ow int, dst []float64, rowStride, colOff int) {
+	if len(src) < c*h*w || len(dst) < (c*kh*kw-1)*rowStride+colOff+oh*ow {
+		panic("tensor: im2col buffer size mismatch")
+	}
+	r := 0
+	for ic := 0; ic < c; ic++ {
+		chOff := ic * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := dst[r*rowStride+colOff : r*rowStride+colOff+oh*ow]
+				// Valid x-range for this kernel column: outside it the
+				// input is padding. Hoisting the bounds turns the inner
+				// loop into one bulk copy flanked by zero fills.
+				xLo, xHi := padX-kx, w-kx+padX
+				if xLo < 0 {
+					xLo = 0
+				}
+				if xHi > ow {
+					xHi = ow
+				}
+				for y := 0; y < oh; y++ {
+					out := row[y*ow : (y+1)*ow]
+					iy := y + ky - padY
+					if iy < 0 || iy >= h || xLo >= xHi {
+						for i := range out {
+							out[i] = 0
+						}
+						continue
+					}
+					srcRow := src[chOff+iy*w : chOff+(iy+1)*w]
+					for x := 0; x < xLo; x++ {
+						out[x] = 0
+					}
+					copy(out[xLo:xHi], srcRow[xLo+kx-padX:xHi+kx-padX])
+					for x := xHi; x < ow; x++ {
+						out[x] = 0
+					}
+				}
+				r++
+			}
+		}
+	}
+}
+
+// Col2Im scatter-adds a patch-matrix gradient (the layout produced by
+// Im2Col) back into a C×H×W image gradient. dst is accumulated into, not
+// overwritten — zero it first if it holds stale values.
+func Col2Im(cols []float64, c, h, w, kh, kw, padY, padX, oh, ow int, dst []float64) {
+	if len(dst) < c*h*w || len(cols) < c*kh*kw*oh*ow {
+		panic("tensor: col2im buffer size mismatch")
+	}
+	r := 0
+	for ic := 0; ic < c; ic++ {
+		chOff := ic * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := cols[r*oh*ow : (r+1)*oh*ow]
+				for y := 0; y < oh; y++ {
+					iy := y + ky - padY
+					if iy < 0 || iy >= h {
+						continue
+					}
+					dstRow := dst[chOff+iy*w : chOff+(iy+1)*w]
+					src := row[y*ow : (y+1)*ow]
+					for x, v := range src {
+						ix := x + kx - padX
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dstRow[ix] += v
+					}
+				}
+				r++
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// naiveGemm is the reference C += op(A)·op(B) implementation.
+func naiveGemm(m, n, k int, a, b, c []float64, ta, tb bool) {
+	at := func(i, l int) float64 {
+		if ta {
+			return a[l*m+i]
+		}
+		return a[i*k+l]
+	}
+	bt := func(l, j int) float64 {
+		if tb {
+			return b[j*k+l]
+		}
+		return b[l*n+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for l := 0; l < k; l++ {
+				sum += at(i, l) * bt(l, j)
+			}
+			c[i*n+j] += sum
+		}
+	}
+}
+
+func TestGemmVariantsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {7, 2, 9}, {16, 16, 16}, {5, 13, 1}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		// Sprinkle zeros to exercise the sparse skip path.
+		for i := 0; i < len(a); i += 3 {
+			a[i] = 0
+		}
+		want := make([]float64, m*n)
+		naiveGemm(m, n, k, a, b, want, false, false)
+		got := make([]float64, m*n)
+		Gemm(m, n, k, a, b, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12 {
+				t.Fatalf("Gemm %dx%dx%d [%d]: %v != %v", m, n, k, i, got[i], want[i])
+			}
+		}
+
+		// Aᵀ variant: A stored k×m.
+		aT := randSlice(rng, k*m)
+		wantTA := make([]float64, m*n)
+		naiveGemm(m, n, k, aT, b, wantTA, true, false)
+		gotTA := make([]float64, m*n)
+		GemmTA(m, n, k, aT, b, gotTA)
+		for i := range wantTA {
+			if math.Abs(wantTA[i]-gotTA[i]) > 1e-12 {
+				t.Fatalf("GemmTA %dx%dx%d [%d]: %v != %v", m, n, k, i, gotTA[i], wantTA[i])
+			}
+		}
+
+		// Bᵀ variant: B stored n×k.
+		bT := randSlice(rng, n*k)
+		wantTB := make([]float64, m*n)
+		naiveGemm(m, n, k, a, bT, wantTB, false, true)
+		gotTB := make([]float64, m*n)
+		GemmTB(m, n, k, a, bT, gotTB)
+		for i := range wantTB {
+			if math.Abs(wantTB[i]-gotTB[i]) > 1e-12 {
+				t.Fatalf("GemmTB %dx%dx%d [%d]: %v != %v", m, n, k, i, gotTB[i], wantTB[i])
+			}
+		}
+	}
+}
+
+// TestGemmStridedMatchesGemm pins the strided convolution kernel to the
+// plain variant: with stride == n they must agree, and with a wider
+// stride only the first n columns of each B row participate.
+func TestGemmStridedMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {8, 6, 7}, {2, 9, 16}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		want := make([]float64, m*n)
+		naiveGemm(m, n, k, a, b, want, false, false)
+		got := make([]float64, m*n)
+		GemmStrided(m, n, k, a, b, n, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12 {
+				t.Fatalf("GemmStrided %dx%dx%d [%d]: %v != %v", m, n, k, i, got[i], want[i])
+			}
+		}
+		// Wider stride: embed B's rows in a padded matrix; the padding
+		// columns must not leak into the result.
+		stride := n + 3
+		wide := randSlice(rng, k*stride)
+		for l := 0; l < k; l++ {
+			copy(wide[l*stride:l*stride+n], b[l*n:(l+1)*n])
+		}
+		got2 := make([]float64, m*n)
+		GemmStrided(m, n, k, a, wide, stride, got2)
+		for i := range want {
+			if math.Abs(want[i]-got2[i]) > 1e-12 {
+				t.Fatalf("GemmStrided stride %d [%d]: %v != %v", stride, i, got2[i], want[i])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on stride < n")
+		}
+	}()
+	GemmStrided(1, 4, 1, make([]float64, 1), make([]float64, 4), 2, make([]float64, 4))
+}
+
+func TestGemmAccumulates(t *testing.T) {
+	c := []float64{10, 20, 30, 40}
+	Gemm(2, 2, 1, []float64{1, 2}, []float64{3, 4}, c)
+	want := []float64{13, 24, 36, 48}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("accumulation broken: %v", c)
+		}
+	}
+}
+
+func TestGemmSizeCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on undersized operand")
+		}
+	}()
+	Gemm(2, 2, 2, make([]float64, 3), make([]float64, 4), make([]float64, 4))
+}
+
+// TestIm2ColRoundTrip checks the lowering against direct patch indexing
+// and Col2Im as its scatter-add adjoint.
+func TestIm2ColRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const c, h, w, kh, kw = 2, 5, 6, 3, 4
+	padY, padX := (kh-1)/2, (kw-1)/2
+	src := randSlice(rng, c*h*w)
+	cols := make([]float64, c*kh*kw*h*w)
+	Im2Col(src, c, h, w, kh, kw, padY, padX, h, w, cols)
+
+	at := func(ic, iy, ix int) float64 {
+		if iy < 0 || iy >= h || ix < 0 || ix >= w {
+			return 0
+		}
+		return src[(ic*h+iy)*w+ix]
+	}
+	for ic := 0; ic < c; ic++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				r := (ic*kh+ky)*kw + kx
+				for y := 0; y < h; y++ {
+					for x := 0; x < w; x++ {
+						want := at(ic, y+ky-padY, x+kx-padX)
+						got := cols[r*h*w+y*w+x]
+						if got != want {
+							t.Fatalf("im2col (%d,%d,%d,%d,%d): %v != %v", ic, ky, kx, y, x, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Col2Im of the lowered ones-matrix counts how many patches each
+	// input position participates in; verify against direct counting.
+	ones := make([]float64, len(cols))
+	for i := range ones {
+		ones[i] = 1
+	}
+	back := make([]float64, c*h*w)
+	Col2Im(ones, c, h, w, kh, kw, padY, padX, h, w, back)
+	for ic := 0; ic < c; ic++ {
+		for iy := 0; iy < h; iy++ {
+			for ix := 0; ix < w; ix++ {
+				count := 0.0
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						y, x := iy-ky+padY, ix-kx+padX
+						if y >= 0 && y < h && x >= 0 && x < w {
+							count++
+						}
+					}
+				}
+				if back[(ic*h+iy)*w+ix] != count {
+					t.Fatalf("col2im count at (%d,%d,%d): %v != %v",
+						ic, iy, ix, back[(ic*h+iy)*w+ix], count)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchViews(t *testing.T) {
+	x := New(4, 2, 3)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	if x.Batch() != 4 || x.SampleSize() != 6 {
+		t.Fatal("batch bookkeeping")
+	}
+	s := x.SampleView(2)
+	if len(s.Shape) != 2 || s.Shape[0] != 2 || s.At(0, 0) != 12 {
+		t.Fatalf("sample view: %v %v", s.Shape, s.Data)
+	}
+	v := x.BatchView(1, 3)
+	if v.Shape[0] != 2 || v.Data[0] != 6 || len(v.Data) != 12 {
+		t.Fatalf("batch view: %v %v", v.Shape, v.Data)
+	}
+	// Views share the backing array.
+	v.Data[0] = -1
+	if x.Data[6] != -1 {
+		t.Fatal("batch view must share data")
+	}
+	for _, f := range []func(){
+		func() { x.SampleView(4) },
+		func() { x.BatchView(2, 2) },
+		func() { x.BatchView(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -90,6 +90,49 @@ func (t *Tensor) Fill(v float64) {
 // Zero clears the tensor.
 func (t *Tensor) Zero() { t.Fill(0) }
 
+// Batch returns the leading (batch) dimension N of the tensor.
+func (t *Tensor) Batch() int {
+	if len(t.Shape) == 0 {
+		panic("tensor: rank-0 tensor has no batch dimension")
+	}
+	return t.Shape[0]
+}
+
+// SampleSize returns the number of elements per sample (the product of
+// all dimensions after the leading batch dimension).
+func (t *Tensor) SampleSize() int {
+	n := 1
+	for _, s := range t.Shape[1:] {
+		n *= s
+	}
+	return n
+}
+
+// SampleView returns sample i of a batched tensor as a view of rank
+// len(Shape)-1 (shares data).
+func (t *Tensor) SampleView(i int) *Tensor {
+	stride := t.SampleSize()
+	if i < 0 || i >= t.Shape[0] {
+		panic(fmt.Sprintf("tensor: sample %d out of range for batch %d", i, t.Shape[0]))
+	}
+	return &Tensor{
+		Shape: append([]int(nil), t.Shape[1:]...),
+		Data:  t.Data[i*stride : (i+1)*stride],
+	}
+}
+
+// BatchView returns samples [lo, hi) of a batched tensor as a view with
+// leading dimension hi-lo (shares data).
+func (t *Tensor) BatchView(lo, hi int) *Tensor {
+	if lo < 0 || hi > t.Shape[0] || lo >= hi {
+		panic(fmt.Sprintf("tensor: batch view [%d,%d) of batch %d", lo, hi, t.Shape[0]))
+	}
+	stride := t.SampleSize()
+	shape := append([]int(nil), t.Shape...)
+	shape[0] = hi - lo
+	return &Tensor{Shape: shape, Data: t.Data[lo*stride : hi*stride]}
+}
+
 // SameShape reports whether the two tensors have identical shapes.
 func SameShape(a, b *Tensor) bool {
 	if len(a.Shape) != len(b.Shape) {

@@ -1,6 +1,9 @@
 // Package train provides the mini-batch training loop (the paper trains
 // with batch size 5), dataset shuffling and accuracy evaluation for the
-// flow-classification CNN.
+// flow-classification CNN. Each Trainer.Step assembles its minibatch
+// into one batched N×1×H×W tensor and runs a single batched
+// forward/backward through the network; accuracy evaluation goes through
+// the parallel nn.Network.PredictBatch path.
 package train
 
 import (
@@ -20,7 +23,8 @@ type Dataset struct {
 	NumCl int
 }
 
-// Add appends one sample.
+// Add appends one sample. The sample slice is retained, not copied, so
+// callers may share encodings across datasets (they are never mutated).
 func (d *Dataset) Add(x []float64, y int) {
 	d.X = append(d.X, x)
 	d.Y = append(d.Y, y)
@@ -46,6 +50,30 @@ func (d *Dataset) Shuffle(rng *rand.Rand) {
 	})
 }
 
+// Batch gathers the samples at the given indices into one batched
+// N×1×H×W tensor plus the matching label slice.
+func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
+	hw := d.H * d.W
+	x := tensor.New(len(idx), 1, d.H, d.W)
+	y := make([]int, len(idx))
+	for b, i := range idx {
+		copy(x.Data[b*hw:(b+1)*hw], d.X[i])
+		y[b] = d.Y[i]
+	}
+	return x, y
+}
+
+// Tensor packs the entire dataset into one batched N×1×H×W tensor (for
+// whole-set prediction).
+func (d *Dataset) Tensor() *tensor.Tensor {
+	hw := d.H * d.W
+	x := tensor.New(d.Len(), 1, d.H, d.W)
+	for i, xi := range d.X {
+		copy(x.Data[i*hw:(i+1)*hw], xi)
+	}
+	return x
+}
+
 // Trainer drives mini-batch gradient descent.
 type Trainer struct {
 	Net       *nn.Network
@@ -55,6 +83,7 @@ type Trainer struct {
 	cursor    int
 	order     []int
 	data      *Dataset
+	batchIdx  []int
 }
 
 // NewTrainer builds a trainer with the paper's batch size 5.
@@ -80,7 +109,8 @@ func (t *Trainer) refillOrder() {
 	t.cursor = 0
 }
 
-// Step runs one mini-batch training step and returns the mean batch loss.
+// Step runs one mini-batch training step — a single batched forward and
+// backward pass — and returns the mean batch loss.
 func (t *Trainer) Step() (float64, error) {
 	if t.data == nil || t.data.Len() == 0 {
 		return 0, fmt.Errorf("train: no data bound")
@@ -88,30 +118,26 @@ func (t *Trainer) Step() (float64, error) {
 	if t.cursor+t.BatchSize > len(t.order) {
 		t.refillOrder()
 	}
-	t.Net.ZeroGrads()
 	batch := t.BatchSize
 	if batch > t.data.Len() {
 		batch = t.data.Len()
 	}
-	var loss float64
+	t.batchIdx = t.batchIdx[:0]
 	for b := 0; b < batch; b++ {
-		idx := t.order[t.cursor]
+		t.batchIdx = append(t.batchIdx, t.order[t.cursor])
 		t.cursor++
-		x := tensor.FromSlice(t.data.X[idx], 1, t.data.H, t.data.W)
-		logits := t.Net.Forward(x, true)
-		l, grad := nn.SparseSoftmaxCE(logits.Data, t.data.Y[idx])
-		loss += l
-		t.Net.Backward(tensor.FromSlice(grad, len(grad)))
 	}
-	// Average accumulated gradients over the batch.
-	inv := 1 / float64(batch)
-	for _, p := range t.Net.Params() {
-		for i := range p.Grad {
-			p.Grad[i] *= inv
-		}
-	}
+	x, labels := t.data.Batch(t.batchIdx)
+
+	t.Net.ZeroGrads()
+	logits := t.Net.Forward(x, true)
+	loss, grad := nn.SparseSoftmaxCEBatch(logits, labels)
+	t.Net.Backward(grad)
+	// The backward pass accumulated summed gradients; average them over
+	// the batch before the optimizer update.
+	opt.ScaleGrads(t.Net.Params(), 1/float64(batch))
 	t.Opt.Step(t.Net.Params())
-	return loss * inv, nil
+	return loss, nil
 }
 
 // Steps runs n mini-batch steps and returns the mean loss across them.
@@ -128,16 +154,22 @@ func (t *Trainer) Steps(n int) (float64, error) {
 }
 
 // Accuracy returns the fraction of dataset samples whose argmax
-// prediction matches the label.
+// prediction matches the label, evaluated with the batched parallel
+// prediction path.
 func Accuracy(net *nn.Network, d *Dataset) float64 {
+	return AccuracyWorkers(net, d, 0)
+}
+
+// AccuracyWorkers is Accuracy with an explicit prediction worker count
+// (≤0 selects GOMAXPROCS).
+func AccuracyWorkers(net *nn.Network, d *Dataset, workers int) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
+	probs := net.PredictBatch(d.Tensor(), workers)
 	correct := 0
-	for i := range d.X {
-		x := tensor.FromSlice(d.X[i], 1, d.H, d.W)
-		probs := net.Predict(x)
-		if Argmax(probs) == d.Y[i] {
+	for i, p := range probs {
+		if Argmax(p) == d.Y[i] {
 			correct++
 		}
 	}
