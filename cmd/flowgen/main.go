@@ -23,6 +23,7 @@ import (
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
 	"flowgen/internal/rewrite"
+	"flowgen/internal/serve"
 	"flowgen/internal/synth"
 	"flowgen/internal/techmap"
 	"flowgen/internal/verilog"
@@ -44,6 +45,7 @@ func main() {
 		verify     = flag.Bool("verify", false, "synthesize the generated flows and report accuracy")
 		list       = flag.Bool("list", false, "list available designs and exit")
 		analyze    = flag.Bool("analyze", false, "print angel-vs-devil flow structure analysis")
+		saveModel  = flag.String("save-model", "", "write the trained classifier to this path for flowserve")
 		expBlif    = flag.String("export-blif", "", "write the input design as BLIF to this path")
 		expAiger   = flag.String("export-aiger", "", "write the input design as binary AIGER to this path")
 		expVerilog = flag.String("export-verilog", "", "apply the top angel-flow, map, and write gate-level Verilog here")
@@ -148,6 +150,15 @@ func main() {
 		for _, p := range analysis.PrefixSignature(space, angels, 2, 3) {
 			fmt.Println("  " + p)
 		}
+	}
+
+	if *saveModel != "" {
+		m := &serve.Model{Name: *designName, Space: space, Arch: cfg.Arch, Net: res.Net}
+		if err := serve.SaveModel(*saveModel, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained classifier written to %s (serve it: flowserve -model %s)\n",
+			*saveModel, *saveModel)
 	}
 
 	if *expBlif != "" {

@@ -1,0 +1,132 @@
+// Command flowserve is the flow-recommendation service: it loads
+// trained classifier models (written by flowgen -save-model) and serves
+// JSON prediction and top-k angel/devil recommendation over HTTP,
+// micro-batching concurrent requests through the batched GEMM engine.
+//
+//	flowserve -models ./models                  # serve every *.flowmodel in a directory
+//	flowserve -model alu16.flowmodel            # serve one file
+//	flowserve -bootstrap demo                   # untrained demo model, no files needed
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness + model count
+//	GET  /v1/models          registered models (name, version, space, params)
+//	POST /v1/models/reload   {"name":"alu16"} — or {} to reload all file-backed
+//	POST /v1/predict         {"model":"","flows":["balance; rewrite; ..."]}
+//	POST /v1/recommend       {"top_k":10,"pool":100000,"seed":7} or {"flows":[...]}
+//	GET  /v1/stats           per-endpoint latency, batcher and cache counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"flowgen/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		modelsDir = flag.String("models", "", "directory of *.flowmodel files to serve")
+		modelFile = flag.String("model", "", "single model file to serve")
+		defName   = flag.String("default", "", "default model name (first loaded if empty)")
+		bootstrap = flag.String("bootstrap", "", "register a freshly initialized in-memory model under this name (demo/smoke use)")
+		maxBatch  = flag.Int("maxbatch", 64, "max coalesced requests per forward pass")
+		maxWait   = flag.Duration("maxwait", 500*time.Microsecond, "max time the first request of a batch waits for companions")
+		queueCap  = flag.Int("queue", 1024, "bounded prediction queue depth (beyond it requests are shed)")
+		workers   = flag.Int("workers", 0, "prediction workers per batch (0 = GOMAXPROCS)")
+		cacheN    = flag.Int("cache", 4096, "scored-flow cache capacity (0 disables)")
+		maxPool   = flag.Int("maxpool", 200000, "largest recommendation pool one request may score")
+	)
+	flag.Parse()
+
+	reg := serve.NewRegistry()
+	load := func(path string) error {
+		m, err := serve.LoadModelFile(path)
+		if err != nil {
+			return err
+		}
+		if m.Name == "" {
+			m.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		reg.Register(m)
+		fmt.Fprintf(os.Stderr, "flowserve: loaded %s@v%d from %s (%d params, %d classes)\n",
+			m.Name, m.Version, path, m.Net.NumParams(), m.Arch.NumClasses)
+		return nil
+	}
+	if *modelFile != "" {
+		if err := load(*modelFile); err != nil {
+			fatal(err)
+		}
+	}
+	if *modelsDir != "" {
+		paths, err := filepath.Glob(filepath.Join(*modelsDir, "*.flowmodel"))
+		if err != nil {
+			fatal(err)
+		}
+		sort.Strings(paths)
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("no *.flowmodel files in %s", *modelsDir))
+		}
+		for _, p := range paths {
+			if err := load(p); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *bootstrap != "" {
+		m := reg.Register(serve.BootstrapModel(*bootstrap))
+		fmt.Fprintf(os.Stderr, "flowserve: bootstrapped untrained model %s (%d params)\n",
+			m.Name, m.Net.NumParams())
+	}
+	if len(reg.List()) == 0 {
+		fatal(errors.New("no models to serve (use -models, -model or -bootstrap)"))
+	}
+	if *defName != "" {
+		if err := reg.SetDefault(*defName); err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := serve.DefaultServerConfig()
+	cfg.Batcher = serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queueCap, Workers: *workers}
+	cfg.CacheSize = *cacheN
+	cfg.MaxPool = *maxPool
+	srv := serve.NewServer(reg, cfg)
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "flowserve: serving %d model(s) on http://%s (default %q)\n",
+		len(reg.List()), *addr, reg.DefaultName())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "flowserve: %v — draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flowserve:", err)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ import (
 	"flowgen/internal/flow"
 	"flowgen/internal/label"
 	"flowgen/internal/nn"
+	"flowgen/internal/serve"
 	"flowgen/internal/synth"
 )
 
@@ -58,6 +59,18 @@ type (
 	LabelModel = label.Model
 	// ArchConfig describes the CNN classifier architecture (Figure 3).
 	ArchConfig = nn.ArchConfig
+	// ServeModel is one immutable servable classifier snapshot.
+	ServeModel = serve.Model
+	// ServeRegistry holds named servable models with hot-reload.
+	ServeRegistry = serve.Registry
+	// Batcher coalesces concurrent predictions into micro-batches.
+	Batcher = serve.Batcher
+	// BatcherConfig tunes the micro-batching scheduler.
+	BatcherConfig = serve.BatcherConfig
+	// ServeServer is the HTTP flow-recommendation service.
+	ServeServer = serve.Server
+	// ServerConfig tunes the HTTP serving layer.
+	ServerConfig = serve.ServerConfig
 )
 
 // Metric values.
@@ -102,3 +115,22 @@ func PaperConfig(space FlowSpace) Config { return core.PaperConfig(space) }
 
 // NewFramework builds the autonomous flow developer.
 func NewFramework(cfg Config, engine *Engine) (*Framework, error) { return core.New(cfg, engine) }
+
+// NewServeRegistry returns an empty model registry for serving.
+func NewServeRegistry() *ServeRegistry { return serve.NewRegistry() }
+
+// NewServeServer wires the flow-recommendation HTTP service over a
+// registry; serve its Handler() with net/http (cmd/flowserve does).
+func NewServeServer(reg *ServeRegistry, cfg ServerConfig) *ServeServer {
+	return serve.NewServer(reg, cfg)
+}
+
+// DefaultServerConfig returns production-shaped serving limits.
+func DefaultServerConfig() ServerConfig { return serve.DefaultServerConfig() }
+
+// SaveServeModel / LoadServeModel persist servable models (flowgen
+// -save-model writes these files; flowserve loads them).
+func SaveServeModel(path string, m *ServeModel) error { return serve.SaveModel(path, m) }
+
+// LoadServeModel reads a model file written by SaveServeModel.
+func LoadServeModel(path string) (*ServeModel, error) { return serve.LoadModelFile(path) }

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -25,7 +26,6 @@ import (
 	"flowgen/internal/nn"
 	"flowgen/internal/opt"
 	"flowgen/internal/synth"
-	"flowgen/internal/tensor"
 	"flowgen/internal/train"
 )
 
@@ -295,27 +295,47 @@ func (fw *Framework) GeneratePool(exclude []flow.Flow) []flow.Flow {
 	return out
 }
 
-// PredictPool classifies every pool flow through the batched network,
-// sharding the pool across a prediction worker pool (GOMAXPROCS
-// workers). Results are deterministic and identical to per-flow
-// prediction regardless of sharding.
-func (fw *Framework) PredictPool(net *nn.Network, pool []flow.Flow) []ScoredFlow {
-	cfg := fw.Cfg
-	if len(pool) == 0 {
-		return nil
+// EncodeFill returns a nn.PredictStream fill callback that one-hot
+// encodes pool flows directly into the worker's chunk buffer (hw
+// elements per sample) — the shared piece of every streamed pool
+// scorer (core, the experiment harness, the serving layer).
+func EncodeFill(space flow.Space, pool []flow.Flow, hw int) func(dst []float64, lo, hi int) {
+	return func(dst []float64, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pool[i].EncodeInto(space, dst[(i-lo)*hw:(i-lo+1)*hw])
+		}
 	}
-	hw := cfg.EncodeH * cfg.EncodeW
-	x := tensor.New(len(pool), 1, cfg.EncodeH, cfg.EncodeW)
-	for i, f := range pool {
-		copy(x.Data[i*hw:(i+1)*hw], f.Encode(cfg.Space, cfg.EncodeH, cfg.EncodeW))
-	}
-	probs := net.PredictBatch(x, 0)
+}
+
+// ScoreFlows pairs pool flows with their predicted distributions.
+func ScoreFlows(pool []flow.Flow, probs [][]float64) []ScoredFlow {
 	out := make([]ScoredFlow, len(pool))
 	for i, f := range pool {
 		cls := train.Argmax(probs[i])
 		out[i] = ScoredFlow{Flow: f, Class: cls, Confidence: probs[i][cls], Probs: probs[i]}
 	}
 	return out
+}
+
+// PredictPool classifies every pool flow through the batched network,
+// sharding the pool across a prediction worker pool (GOMAXPROCS
+// workers). Encodings are streamed into chunk-sized worker buffers
+// instead of materializing one pool-sized tensor (~115 MB at the
+// paper's 100k-flow pool), so peak memory is flat in the pool size.
+// Results are deterministic and identical to per-flow prediction
+// regardless of sharding.
+func (fw *Framework) PredictPool(net *nn.Network, pool []flow.Flow) []ScoredFlow {
+	cfg := fw.Cfg
+	if len(pool) == 0 {
+		return nil
+	}
+	probs, err := net.PredictStream(context.Background(), len(pool),
+		[]int{1, cfg.EncodeH, cfg.EncodeW}, 0,
+		EncodeFill(cfg.Space, pool, cfg.EncodeH*cfg.EncodeW))
+	if err != nil {
+		panic("core: background pool prediction cancelled: " + err.Error())
+	}
+	return ScoreFlows(pool, probs)
 }
 
 // SelectFlows implements Section 3.3 / Table 2: among flows predicted as

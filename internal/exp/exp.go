@@ -9,6 +9,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -22,7 +23,6 @@ import (
 	"flowgen/internal/nn"
 	"flowgen/internal/opt"
 	"flowgen/internal/synth"
-	"flowgen/internal/tensor"
 	"flowgen/internal/train"
 )
 
@@ -39,15 +39,18 @@ type Bundle struct {
 	PerFlowAvg time.Duration
 	Memo       synth.MemoStats // work sharing achieved during collection
 
-	// One-hot encoding memos. Replays encode the same flows every
-	// retraining round and across every compared configuration, so the
-	// bundle caches them per image shape (all current architectures share
-	// the EncodeShape-derived shape).
+	// One-hot encoding memo for the training flows. Replays encode the
+	// same flows every retraining round and across every compared
+	// configuration, so the bundle caches them per image shape (all
+	// current architectures share the EncodeShape-derived shape). Pool
+	// encodings are deliberately NOT memoized: the pool is predicted
+	// through nn.PredictStream, which re-encodes chunks into flat worker
+	// buffers — far cheaper than pinning a pool-sized tensor (~115 MB at
+	// the paper's 100k flows) across the whole replay.
 	encMu   sync.Mutex
 	encH    int
 	encW    int
 	flowEnc [][]float64
-	poolEnc *tensor.Tensor
 }
 
 // EncodedFlows returns the h×w one-hot encodings of the training flows,
@@ -65,28 +68,12 @@ func (b *Bundle) EncodedFlows(h, w int) [][]float64 {
 	return b.flowEnc
 }
 
-// EncodedPool returns the pool as one batched N×1×h×w tensor, memoized.
-// The tensor is shared — callers must treat it as read-only (prediction
-// does).
-func (b *Bundle) EncodedPool(h, w int) *tensor.Tensor {
-	b.encMu.Lock()
-	defer b.encMu.Unlock()
-	b.ensureShapeLocked(h, w)
-	if b.poolEnc == nil {
-		b.poolEnc = tensor.New(len(b.Pool), 1, h, w)
-		for i, f := range b.Pool {
-			copy(b.poolEnc.Data[i*h*w:(i+1)*h*w], f.Encode(b.Space, h, w))
-		}
-	}
-	return b.poolEnc
-}
-
-// ensureShapeLocked invalidates the memos when the requested image shape
+// ensureShapeLocked invalidates the memo when the requested image shape
 // changes (possible only if a caller overrides the EncodeShape default).
 func (b *Bundle) ensureShapeLocked(h, w int) {
 	if b.encH != h || b.encW != w {
 		b.encH, b.encW = h, w
-		b.flowEnc, b.poolEnc = nil, nil
+		b.flowEnc = nil
 	}
 }
 
@@ -264,13 +251,12 @@ func GeneratedAccuracy(b *Bundle, net *nn.Network, model *label.Model, rc RunCon
 }
 
 func predictPool(b *Bundle, net *nn.Network, h, w, workers int) []core.ScoredFlow {
-	probs := net.PredictBatch(b.EncodedPool(h, w), workers)
-	out := make([]core.ScoredFlow, len(b.Pool))
-	for i, f := range b.Pool {
-		cls := train.Argmax(probs[i])
-		out[i] = core.ScoredFlow{Flow: f, Class: cls, Confidence: probs[i][cls], Probs: probs[i]}
+	probs, err := net.PredictStream(context.Background(), len(b.Pool), []int{1, h, w}, workers,
+		core.EncodeFill(b.Space, b.Pool, h*w))
+	if err != nil {
+		panic("exp: background pool prediction cancelled: " + err.Error())
 	}
-	return out
+	return core.ScoreFlows(b.Pool, probs)
 }
 
 // Selection returns the final angel/devil flows with their ground-truth

@@ -278,17 +278,27 @@ func (f Flow) Encode(s Space, rows, cols int) []float64 {
 	if rows*cols != L*n {
 		panic(fmt.Sprintf("flow: cannot reshape %dx%d to %dx%d", L, n, rows, cols))
 	}
-	out := make([]float64, 0, L*n)
-	for _, t := range f.Indices {
-		for c := 0; c < n; c++ {
-			if c == t {
-				out = append(out, 1)
-			} else {
-				out = append(out, 0)
-			}
-		}
-	}
+	out := make([]float64, L*n)
+	f.EncodeInto(s, out)
 	return out
+}
+
+// EncodeInto writes the flow's flattened one-hot encoding into dst,
+// which must hold exactly L*n elements. The flattened encoding is
+// independent of the 2-D reshape (row-major order is preserved by any
+// rows×cols factorization), so callers streaming encodings into batched
+// chunk buffers need no shape argument. Every element of dst is written.
+func (f Flow) EncodeInto(s Space, dst []float64) {
+	L, n := s.Length(), s.N()
+	if len(dst) != L*n {
+		panic(fmt.Sprintf("flow: encoding needs %d elements, dst has %d", L*n, len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, t := range f.Indices {
+		dst[j*n+t] = 1
+	}
 }
 
 // DefaultAlphabet is the transformation set S of the paper's experiments.

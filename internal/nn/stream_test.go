@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"flowgen/internal/tensor"
+)
+
+// TestPredictStreamMatchesBatch checks that streaming chunk-encoded
+// inputs produces exactly the floats of the materialized-batch path, for
+// worker counts on both sides of the chunk count.
+func TestPredictStreamMatchesBatch(t *testing.T) {
+	net := FastArch(5).Build(4)
+	x := randBatch(21, 150, 12, 12)
+	want := net.PredictBatch(x, 1)
+	sample := x.SampleSize()
+	for _, workers := range []int{1, 3} {
+		got, err := net.PredictStream(context.Background(), x.Batch(), []int{1, 12, 12}, workers,
+			func(dst []float64, lo, hi int) {
+				copy(dst, x.Data[lo*sample:hi*sample])
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range want {
+			for j := range want[s] {
+				if got[s][j] != want[s][j] {
+					t.Fatalf("workers=%d sample %d prob %d: stream %v != batch %v",
+						workers, s, j, got[s][j], want[s][j])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchCtxCancellation verifies that a cancelled context
+// stops the shard workers: a context cancelled by the first fill call
+// must leave most of a many-chunk pool unprocessed, and the call must
+// return the context error with no results.
+func TestPredictBatchCtxCancellation(t *testing.T) {
+	net := FastArch(5).Build(4)
+	const total = 40 * predictChunk
+	ctx, cancel := context.WithCancel(context.Background())
+	var fills atomic.Int64
+	out, err := net.PredictStream(ctx, total, []int{1, 12, 12}, 2,
+		func(dst []float64, lo, hi int) {
+			if fills.Add(1) == 1 {
+				cancel()
+			}
+			for i := range dst {
+				dst[i] = 0
+			}
+		})
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled prediction must discard partial results")
+	}
+	if n := fills.Add(0); n >= 40 {
+		t.Fatalf("cancellation did not stop the workers: %d/40 chunks still ran", n)
+	}
+
+	// Pre-cancelled context: no work at all.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := net.PredictBatchCtx(done, randBatch(1, 3, 12, 12), 1); err != context.Canceled {
+		t.Fatalf("pre-cancelled context: want context.Canceled, got %v", err)
+	}
+}
+
+// TestConvBackwardBlockedPartial exercises the blocked backward path
+// with a block size that does not divide the batch: the 8×8 feature
+// map makes backwardBlockSamples yield 2 (one block reaches the
+// 128-column target), so the 5-sample batch splits into blocks of
+// 2+2+1. The input gradient must be bit-identical to per-sample
+// backward passes and the weight gradient within fp-reordering noise.
+func TestConvBackwardBlockedPartial(t *testing.T) {
+	const inC, outC, kh, kw, h, w, n = 8, 4, 5, 5, 8, 8, 5
+	k := inC * kh * kw
+	hw := h * w
+	if bs := backwardBlockSamples(k, hw, n); bs != 2 {
+		t.Fatalf("test geometry: backwardBlockSamples = %d, want 2", bs)
+	}
+	rng := rand.New(rand.NewSource(5))
+	blocked := NewConv2D(rng, inC, outC, kh, kw)
+	single := &Conv2D{InC: inC, OutC: outC, KH: kh, KW: kw,
+		W: newParam(len(blocked.W.Data)), B: newParam(len(blocked.B.Data))}
+	copy(single.W.Data, blocked.W.Data)
+	copy(single.B.Data, blocked.B.Data)
+
+	x := tensor.New(n, inC, h, w)
+	grad := tensor.New(n, outC, h, w)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range grad.Data {
+		grad.Data[i] = rng.NormFloat64()
+	}
+
+	blocked.Forward(x, false)
+	dxB := blocked.Backward(grad)
+	dxS := tensor.New(n, inC, h, w)
+	for s := 0; s < n; s++ {
+		xs := x.BatchView(s, s+1)
+		single.Forward(xs, false)
+		dx := single.Backward(grad.BatchView(s, s+1))
+		copy(dxS.Data[s*inC*hw:(s+1)*inC*hw], dx.Data)
+	}
+
+	for i := range dxB.Data {
+		if dxB.Data[i] != dxS.Data[i] {
+			t.Fatalf("input gradient %d: blocked %v != per-sample %v", i, dxB.Data[i], dxS.Data[i])
+		}
+	}
+	for i := range blocked.B.Grad {
+		if blocked.B.Grad[i] != single.B.Grad[i] {
+			t.Fatalf("bias gradient %d: blocked %v != per-sample %v", i, blocked.B.Grad[i], single.B.Grad[i])
+		}
+	}
+	const tol = 1e-9
+	for i := range blocked.W.Grad {
+		gB, gS := blocked.W.Grad[i], single.W.Grad[i]
+		if math.Abs(gB-gS) > tol*(1+math.Abs(gS)) {
+			t.Fatalf("weight gradient %d: blocked %v, per-sample %v", i, gB, gS)
+		}
+	}
+}

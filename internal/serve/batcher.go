@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"flowgen/internal/tensor"
+)
+
+// Batcher errors. ErrQueueFull is returned without blocking when the
+// bounded request queue is at capacity (load shedding); ErrClosed after
+// Close.
+var (
+	ErrQueueFull = errors.New("serve: prediction queue full")
+	ErrClosed    = errors.New("serve: batcher closed")
+)
+
+// BatcherConfig tunes the micro-batching scheduler. The zero value is
+// not usable; start from DefaultBatcherConfig.
+type BatcherConfig struct {
+	// MaxBatch caps how many requests one PredictBatchCtx call serves.
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// companions. 0 flushes as soon as the queue stops yielding
+	// requests without blocking (lowest latency, still coalescing
+	// whatever arrived together).
+	MaxWait time.Duration
+	// QueueCap bounds the request queue; submits beyond it fail fast
+	// with ErrQueueFull instead of building unbounded backlog.
+	QueueCap int
+	// Workers shards each flushed batch across prediction workers
+	// (≤0 selects GOMAXPROCS).
+	Workers int
+}
+
+// DefaultBatcherConfig returns production-shaped defaults: batches up
+// to the prediction chunk size, a sub-millisecond coalescing window,
+// and a queue deep enough to absorb bursts.
+func DefaultBatcherConfig() BatcherConfig {
+	return BatcherConfig{MaxBatch: 64, MaxWait: 500 * time.Microsecond, QueueCap: 1024}
+}
+
+// Prediction is one scored flow as served: the softmax distribution,
+// the argmax class with its confidence, and the model snapshot that
+// produced it.
+type Prediction struct {
+	Probs      []float64
+	Class      int
+	Confidence float64
+	Model      *Model
+}
+
+// request is one queued single-flow prediction.
+type request struct {
+	enc  []float64
+	ctx  context.Context
+	done chan result // buffered(1): flush never blocks on a dead caller
+}
+
+type result struct {
+	probs []float64
+	model *Model
+	err   error
+}
+
+// BatcherStats is a point-in-time counter snapshot.
+type BatcherStats struct {
+	Requests     int64 // accepted submissions
+	Rejected     int64 // queue-full fast failures
+	Cancelled    int64 // requests whose context ended before scoring
+	Batches      int64 // PredictBatchCtx calls issued
+	BatchedFlows int64 // flows scored through those calls
+	MaxBatch     int64 // largest batch observed
+	Errors       int64 // scoring errors (cancelled flushes, model faults)
+}
+
+// MeanBatch returns the average coalesced batch size.
+func (s BatcherStats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedFlows) / float64(s.Batches)
+}
+
+// Batcher coalesces concurrent single-flow prediction requests into
+// micro-batches. Submissions enter a bounded queue; a scheduler
+// goroutine gathers up to MaxBatch requests (waiting at most MaxWait
+// after the first), resolves the current model snapshot once per batch,
+// and executes one batched forward pass for all of them — so N
+// concurrent clients cost one GEMM-blocked PredictBatchCtx call instead
+// of N single-sample forwards. Per-sample numerics are independent of
+// batch composition, so responses are bit-identical to direct
+// PredictBatch calls regardless of how requests coalesce.
+type Batcher struct {
+	cfg      BatcherConfig
+	resolve  func() (*Model, error)
+	queue    chan *request
+	quit     chan struct{}
+	quitCtx  context.Context // cancelled by Close; aborts in-flight forwards
+	quitStop context.CancelFunc
+	closed   atomic.Bool
+	xbuf     []float64 // flush input buffer, owned by the scheduler goroutine
+	stats    struct {
+		requests, rejected, cancelled atomic.Int64
+		batches, flows, errors        atomic.Int64
+		maxBatch                      atomic.Int64
+	}
+}
+
+// NewBatcher starts a batcher whose flushes score against the model
+// returned by resolve — typically a Registry lookup, so a hot reload
+// redirects the very next batch; in-flight batches finish on the
+// snapshot they resolved. Close must be called to stop the scheduler.
+func NewBatcher(resolve func() (*Model, error), cfg BatcherConfig) *Batcher {
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 1
+	}
+	b := &Batcher{
+		cfg:     cfg,
+		resolve: resolve,
+		queue:   make(chan *request, cfg.QueueCap),
+		quit:    make(chan struct{}),
+	}
+	b.quitCtx, b.quitStop = context.WithCancel(context.Background())
+	go b.loop()
+	return b
+}
+
+// Close stops the scheduler. Pending and in-flight requests fail with
+// ErrClosed; Close is idempotent.
+func (b *Batcher) Close() {
+	if b.closed.CompareAndSwap(false, true) {
+		close(b.quit)
+		b.quitStop()
+	}
+}
+
+// Stats returns a snapshot of the batcher's counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Requests:     b.stats.requests.Load(),
+		Rejected:     b.stats.rejected.Load(),
+		Cancelled:    b.stats.cancelled.Load(),
+		Batches:      b.stats.batches.Load(),
+		BatchedFlows: b.stats.flows.Load(),
+		MaxBatch:     b.stats.maxBatch.Load(),
+		Errors:       b.stats.errors.Load(),
+	}
+}
+
+// Submit enqueues one encoded flow and blocks until it is scored, the
+// context ends, or the batcher closes. enc must be the flow's one-hot
+// encoding for the batcher's model and is retained until the response.
+// Submits never block on a full queue — they fail with ErrQueueFull.
+func (b *Batcher) Submit(ctx context.Context, enc []float64) (Prediction, error) {
+	r := &request{enc: enc, ctx: ctx, done: make(chan result, 1)}
+	select {
+	case <-b.quit:
+		return Prediction{}, ErrClosed
+	case <-ctx.Done():
+		b.stats.cancelled.Add(1)
+		return Prediction{}, ctx.Err()
+	default:
+	}
+	select {
+	case b.queue <- r:
+		b.stats.requests.Add(1)
+	default:
+		b.stats.rejected.Add(1)
+		return Prediction{}, ErrQueueFull
+	}
+	select {
+	case res := <-r.done:
+		if res.err != nil {
+			return Prediction{}, res.err
+		}
+		cls := argmax(res.probs)
+		return Prediction{Probs: res.probs, Class: cls, Confidence: res.probs[cls], Model: res.model}, nil
+	case <-ctx.Done():
+		// The request stays queued; the flush skips it (its context is
+		// done) and the buffered done channel absorbs any late result.
+		b.stats.cancelled.Add(1)
+		return Prediction{}, ctx.Err()
+	case <-b.quit:
+		return Prediction{}, ErrClosed
+	}
+}
+
+// loop is the scheduler: gather a batch, flush it, repeat.
+func (b *Batcher) loop() {
+	for {
+		var first *request
+		select {
+		case first = <-b.queue:
+		case <-b.quit:
+			b.drain()
+			return
+		}
+		b.flush(b.gather(first))
+	}
+}
+
+// gather collects companions for the first request: up to MaxBatch
+// total, waiting at most MaxWait after the first arrival (or only for
+// already-queued requests when MaxWait is 0).
+func (b *Batcher) gather(first *request) []*request {
+	batch := append(make([]*request, 0, b.cfg.MaxBatch), first)
+	if b.cfg.MaxWait <= 0 {
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case r := <-b.queue:
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(b.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < b.cfg.MaxBatch {
+		select {
+		case r := <-b.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-b.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush scores one gathered batch: resolve the model snapshot, drop
+// requests whose context already ended, run one batched forward over
+// the rest, and distribute the per-flow probability rows. The forward
+// runs under a context that cancels when every member request has been
+// abandoned, so a batch of dead requests stops burning inference
+// workers mid-shard.
+func (b *Batcher) flush(batch []*request) {
+	m, err := b.resolve()
+	if err != nil {
+		b.stats.errors.Add(1)
+		for _, r := range batch {
+			r.done <- result{err: err}
+		}
+		return
+	}
+	hw := m.EncodeLen()
+	live := batch[:0]
+	for _, r := range batch {
+		switch {
+		case r.ctx.Err() != nil:
+			// Abandoned while queued; its Submit already returned (and
+			// counted the cancellation) — just don't score it.
+		case len(r.enc) != hw:
+			r.done <- result{err: fmt.Errorf("serve: encoding has %d elements, model %s@v%d expects %d",
+				len(r.enc), m.Name, m.Version, hw)}
+		default:
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// The input buffer is owned by the scheduler goroutine and reused
+	// across flushes; the forward pass only reads it and returns before
+	// the next flush starts.
+	if cap(b.xbuf) < len(live)*hw {
+		b.xbuf = make([]float64, b.cfg.MaxBatch*hw)
+	}
+	x := tensor.FromSlice(b.xbuf[:len(live)*hw], len(live), 1, m.Arch.InH, m.Arch.InW)
+	for i, r := range live {
+		copy(x.Data[i*hw:(i+1)*hw], r.enc)
+	}
+
+	// The forward runs under the batcher's shutdown context; when every
+	// member request is individually cancellable, it additionally
+	// cancels once the last caller is gone. Requests with
+	// non-cancellable contexts (ctx.Done() == nil, e.g. Background) can
+	// never be abandoned, so the common fast path skips the
+	// per-request plumbing entirely.
+	flushCtx := b.quitCtx
+	cancellable := 0
+	for _, r := range live {
+		if r.ctx.Done() != nil {
+			cancellable++
+		}
+	}
+	if cancellable == len(live) {
+		var cancel context.CancelFunc
+		flushCtx, cancel = context.WithCancel(b.quitCtx)
+		defer cancel()
+		remaining := int64(len(live))
+		var abandoned atomic.Int64
+		for _, r := range live {
+			stop := context.AfterFunc(r.ctx, func() {
+				if abandoned.Add(1) == remaining {
+					cancel() // every caller is gone — stop the forward pass
+				}
+			})
+			defer stop()
+		}
+	}
+
+	probs, err := m.PredictBatchCtx(flushCtx, x, b.cfg.Workers)
+	if err != nil {
+		b.stats.errors.Add(1)
+		for _, r := range live {
+			r.done <- result{err: err}
+		}
+		return
+	}
+	b.stats.batches.Add(1)
+	b.stats.flows.Add(int64(len(live)))
+	if n := int64(len(live)); n > b.stats.maxBatch.Load() {
+		b.stats.maxBatch.Store(n)
+	}
+	for i, r := range live {
+		r.done <- result{probs: probs[i], model: m}
+	}
+}
+
+// drain fails whatever is still queued at shutdown.
+func (b *Batcher) drain() {
+	for {
+		select {
+		case r := <-b.queue:
+			r.done <- result{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// argmax returns the index of the largest element.
+func argmax(xs []float64) int {
+	best, bi := xs[0], 0
+	for i, v := range xs[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}

@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"flowgen/internal/flow"
+	"flowgen/internal/nn"
+	"flowgen/internal/tensor"
+)
+
+// testModel builds a small deterministic model over a 4-letter m=2
+// space (4×8 encodings — large enough for the FastArch pooling stack,
+// small enough that race-enabled concurrency tests stay fast).
+func testModel(name string, seed int64) *Model {
+	space := flow.NewSpace([]string{"a", "b", "c", "d"}, 2)
+	arch := nn.FastArch(5)
+	arch.InH, arch.InW = 4, 8
+	return &Model{Name: name, Space: space, Arch: arch, Net: arch.Build(seed)}
+}
+
+// directProbs scores flows through the plain batched path (the serving
+// layer's ground truth).
+func directProbs(m *Model, flows []flow.Flow) [][]float64 {
+	hw := m.EncodeLen()
+	x := tensor.New(len(flows), 1, m.Arch.InH, m.Arch.InW)
+	for i, f := range flows {
+		f.EncodeInto(m.Space, x.Data[i*hw:(i+1)*hw])
+	}
+	return m.Net.PredictBatch(x, 1)
+}
+
+func sameProbs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatcherMatchesDirect hammers one batcher from many goroutines and
+// requires every response to be bit-identical to the direct
+// PredictBatch scoring of the same flow — and the traffic to have
+// actually coalesced into multi-request batches.
+func TestBatcherMatchesDirect(t *testing.T) {
+	m := testModel("m", 1)
+	const clients, perClient = 24, 8
+	flows := m.Space.RandomUnique(rand.New(rand.NewSource(2)), clients*perClient)
+	want := directProbs(m, flows)
+
+	b := NewBatcher(func() (*Model, error) { return m, nil },
+		BatcherConfig{MaxBatch: 32, MaxWait: 2 * time.Millisecond, QueueCap: 512, Workers: 1})
+	defer b.Close()
+
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				idx := c*perClient + i
+				pred, err := b.Submit(context.Background(), m.EncodeFlow(flows[idx]))
+				if err != nil {
+					errs <- fmt.Errorf("client %d flow %d: %v", c, i, err)
+					return
+				}
+				if !sameProbs(pred.Probs, want[idx]) {
+					errs <- fmt.Errorf("client %d flow %d: batched response differs from direct scoring", c, i)
+					return
+				}
+				if pred.Class != argmax(want[idx]) || pred.Model != m {
+					errs <- fmt.Errorf("client %d flow %d: wrong class or model", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := b.Stats()
+	if st.Requests != clients*perClient || st.BatchedFlows != clients*perClient {
+		t.Fatalf("stats lost requests: %+v", st)
+	}
+	if st.Batches >= st.Requests {
+		t.Fatalf("no coalescing happened: %d batches for %d requests", st.Batches, st.Requests)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("never built a multi-request batch: %+v", st)
+	}
+}
+
+// TestBatcherCancellationAndQueueFull drives the failure paths
+// deterministically by blocking the model resolver: a queued request
+// can be cancelled while waiting, submissions beyond QueueCap are shed
+// with ErrQueueFull, and pre-cancelled contexts never enqueue.
+func TestBatcherCancellationAndQueueFull(t *testing.T) {
+	m := testModel("m", 1)
+	release := make(chan struct{})
+	b := NewBatcher(func() (*Model, error) { <-release; return m, nil },
+		BatcherConfig{MaxBatch: 1, MaxWait: 0, QueueCap: 2, Workers: 1})
+	defer b.Close()
+
+	enc := m.EncodeFlow(m.Space.Random(rand.New(rand.NewSource(3))))
+
+	// Pre-cancelled context: rejected before touching the queue.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := b.Submit(done, enc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled submit: want Canceled, got %v", err)
+	}
+
+	// First request is taken by the scheduler and blocks in the
+	// resolver; two more fill the queue; the next sheds.
+	type subResult struct {
+		pred Prediction
+		err  error
+	}
+	results := make([]chan subResult, 3)
+	ctxs := make([]context.Context, 3)
+	cancels := make([]context.CancelFunc, 3)
+	for i := range results {
+		results[i] = make(chan subResult, 1)
+		ctxs[i], cancels[i] = context.WithCancel(context.Background())
+		go func(i int) {
+			p, err := b.Submit(ctxs[i], enc)
+			results[i] <- subResult{p, err}
+		}(i)
+		// Wait until the request is accepted (queued or in flight)
+		// before issuing the next, so occupancy is deterministic.
+		for b.Stats().Requests < int64(i+1) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if _, err := b.Submit(context.Background(), enc); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+
+	// Cancel the last queued request while it waits, then release the
+	// resolver: the cancelled one returns its context error, the others
+	// are scored.
+	cancels[2]()
+	if r := <-results[2]; !errors.Is(r.err, context.Canceled) {
+		t.Fatalf("queued-then-cancelled submit: want Canceled, got %v", r.err)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		r := <-results[i]
+		if r.err != nil {
+			t.Fatalf("request %d after release: %v", i, r.err)
+		}
+	}
+	st := b.Stats()
+	if st.Rejected != 1 || st.Cancelled != 2 {
+		t.Fatalf("want 1 rejection and 2 cancellations, got %+v", st)
+	}
+	if st.BatchedFlows != 2 {
+		t.Fatalf("want 2 scored flows (cancelled one skipped), got %+v", st)
+	}
+
+	// Closing fails later submissions.
+	b.Close()
+	if _, err := b.Submit(context.Background(), enc); !errors.Is(err, ErrClosed) {
+		t.Fatalf("after close: want ErrClosed, got %v", err)
+	}
+}
+
+// TestBatcherEncodingMismatch checks per-request validation against the
+// resolved model's input shape.
+func TestBatcherEncodingMismatch(t *testing.T) {
+	m := testModel("m", 1)
+	b := NewBatcher(func() (*Model, error) { return m, nil },
+		BatcherConfig{MaxBatch: 4, MaxWait: 0, QueueCap: 8, Workers: 1})
+	defer b.Close()
+	if _, err := b.Submit(context.Background(), make([]float64, 3)); err == nil {
+		t.Fatal("want an encoding-size error")
+	}
+}
+
+// TestHotReloadDuringTraffic swaps model versions through a registry
+// while clients hammer the batcher, asserting zero downtime: every
+// response is bit-identical to the direct scoring of whichever version
+// it reports, and the final version's responses eventually flow.
+func TestHotReloadDuringTraffic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.flowmodel")
+	// Two weight sets cycling through the same file.
+	v1, v2 := testModel("m", 1), testModel("m", 2)
+	if err := SaveModel(path, v1); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	loaded, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Register(loaded)
+
+	const clients, perClient, reloadN = 8, 40, 6
+	flows := v1.Space.RandomUnique(rand.New(rand.NewSource(4)), perClient)
+	// Expected probabilities per weight set (versions alternate 1,2).
+	wantBySeed := [][][]float64{directProbs(v1, flows), directProbs(v2, flows)}
+
+	b := NewBatcher(func() (*Model, error) { return reg.Get("m") },
+		BatcherConfig{MaxBatch: 16, MaxWait: 200 * time.Microsecond, QueueCap: 1024, Workers: 1})
+	defer b.Close()
+
+	errs := make(chan error, clients+1)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				pred, err := b.Submit(context.Background(), v1.EncodeFlow(flows[i]))
+				if err != nil {
+					errs <- fmt.Errorf("client %d flow %d: %v", c, i, err)
+					return
+				}
+				want := wantBySeed[(pred.Model.Version+1)%2][i]
+				if !sameProbs(pred.Probs, want) {
+					errs <- fmt.Errorf("client %d flow %d: response does not match version %d scoring",
+						c, i, pred.Model.Version)
+					return
+				}
+			}
+		}(c)
+	}
+	// Reloader: alternate the weight sets on disk and hot-swap.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloadN; i++ {
+			src := v2
+			if i%2 == 1 {
+				src = v1
+			}
+			if err := SaveModel(path, src); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := reg.Reload("m"); err != nil {
+				errs <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := reg.Reloads(); got != reloadN {
+		t.Fatalf("registry counted %d reloads, want %d", got, reloadN)
+	}
+	cur, err := reg.Get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version != reloadN+1 {
+		t.Fatalf("final version %d, want %d", cur.Version, reloadN+1)
+	}
+	// Traffic after the last swap serves the final weights.
+	pred, err := b.Submit(context.Background(), v1.EncodeFlow(flows[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Model.Version != reloadN+1 {
+		t.Fatalf("post-reload request served by v%d, want v%d", pred.Model.Version, reloadN+1)
+	}
+	if !sameProbs(pred.Probs, wantBySeed[(pred.Model.Version+1)%2][0]) {
+		t.Fatal("post-reload response does not match the final weights")
+	}
+	_ = os.Remove(path)
+}

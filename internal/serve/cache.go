@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey identifies one scored flow: the model snapshot that scored
+// it (name AND version — a hot reload must never serve stale scores)
+// plus the flow's canonical key.
+type cacheKey struct {
+	model   string
+	version int
+	flowKey string
+}
+
+// Cache is a bounded LRU memo of served predictions. Production flow
+// traffic is heavily repetitive (popular designs re-ask about the same
+// candidate flows), and a hit skips both the queue wait and the forward
+// pass entirely. Values are the exact probability rows the network
+// produced; callers must treat them as read-only.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recent
+	byKey  map[cacheKey]*list.Element
+	hits   atomic.Int64
+	misses atomic.Int64
+	evicts atomic.Int64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	probs []float64
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Size      int
+	Cap       int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns hits/(hits+misses), 0 when idle.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// NewCache builds a cache holding up to capacity scored flows.
+// capacity ≤ 0 disables caching (every lookup misses, inserts drop).
+func NewCache(capacity int) *Cache {
+	return &Cache{cap: capacity, ll: list.New(), byKey: map[cacheKey]*list.Element{}}
+}
+
+// Get returns the memoized probability row for (model, version, flow
+// key), marking the entry most-recently-used.
+func (c *Cache) Get(model string, version int, flowKey string) ([]float64, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	k := cacheKey{model: model, version: version, flowKey: flowKey}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).probs, true
+}
+
+// Put memoizes one scored flow, evicting the least-recently-used entry
+// beyond capacity.
+func (c *Cache) Put(model string, version int, flowKey string, probs []float64) {
+	if c.cap <= 0 {
+		return
+	}
+	k := cacheKey{model: model, version: version, flowKey: flowKey}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).probs = probs
+		return
+	}
+	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, probs: probs})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evicts.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	size := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Size: size, Cap: c.cap,
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evicts.Load(),
+	}
+}

@@ -1,0 +1,316 @@
+// Package serve is the flow-recommendation serving subsystem: it turns
+// the trained classifier from an offline experiment artifact into a
+// long-lived, queryable service. Three pieces compose:
+//
+//   - Registry holds named immutable Model snapshots behind an atomic
+//     copy-on-write map, so lookups are lock-free and a hot reload swaps
+//     a model with zero downtime — in-flight requests keep the snapshot
+//     they resolved, new requests see the new version;
+//   - Batcher coalesces concurrent single-flow prediction requests into
+//     micro-batches executed through nn.Network.PredictBatchCtx, so
+//     serving throughput tracks the batched GEMM path instead of
+//     per-request single-sample forwards;
+//   - Cache memoizes scored flows per (model, version, flow-key), since
+//     production traffic re-asks about popular flows.
+//
+// Server wires them behind JSON HTTP endpoints with per-endpoint
+// latency/throughput counters; cmd/flowserve is the binary.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowgen/internal/flow"
+	"flowgen/internal/nn"
+	"flowgen/internal/tensor"
+)
+
+// Model is one immutable, servable classifier snapshot: the flow space
+// it understands, the architecture, and the trained network. A Model is
+// never mutated after registration — hot reload registers a successor
+// with a bumped Version — so readers need no locks and a batch served
+// by one snapshot is internally consistent.
+type Model struct {
+	Name     string
+	Version  int // bumped by Registry on every (re)registration
+	Space    flow.Space
+	Arch     nn.ArchConfig
+	Net      *nn.Network
+	Path     string // source file for reloads ("" = in-memory only)
+	LoadedAt time.Time
+
+	// clones pools parameter-sharing inference clones. nn layers retain
+	// forward state, so a network serves one forward pipeline at a time
+	// — but the serving layer scores concurrently (batcher flushes,
+	// multi-flow predicts, recommendation pools). Every serving-side
+	// forward therefore checks out an exclusive clone; pooling keeps
+	// their lazily grown GEMM scratch warm across requests.
+	clones sync.Pool
+}
+
+// EncodeLen returns the flattened one-hot encoding length of one flow.
+func (m *Model) EncodeLen() int { return m.Arch.InH * m.Arch.InW }
+
+// EncodeFlow writes f's one-hot encoding into a fresh slice.
+func (m *Model) EncodeFlow(f flow.Flow) []float64 {
+	return f.Encode(m.Space, m.Arch.InH, m.Arch.InW)
+}
+
+func (m *Model) getClone() *nn.Network {
+	if c, _ := m.clones.Get().(*nn.Network); c != nil {
+		return c
+	}
+	return m.Net.InferenceClone()
+}
+
+// PredictBatchCtx scores a prepared batch through a pooled inference
+// clone, so concurrent callers never share forward state.
+func (m *Model) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, workers int) ([][]float64, error) {
+	c := m.getClone()
+	defer m.clones.Put(c)
+	return c.PredictBatchCtx(ctx, x, workers)
+}
+
+// PredictStream is the pooled-clone counterpart of
+// nn.Network.PredictStream over this model's input shape.
+func (m *Model) PredictStream(ctx context.Context, total, workers int, fill func(dst []float64, lo, hi int)) ([][]float64, error) {
+	c := m.getClone()
+	defer m.clones.Put(c)
+	return c.PredictStream(ctx, total, []int{1, m.Arch.InH, m.Arch.InW}, workers, fill)
+}
+
+// modelSnapshot is the on-disk form of a Model. The architecture is
+// stored field-by-field with the activation by name (nn.ArchConfig is
+// rebuilt, then weights stream in through nn persistence), so the file
+// format is independent of nn's in-memory layer layout.
+type modelSnapshot struct {
+	Name       string
+	Alphabet   []string
+	M          int
+	InH, InW   int
+	KH, KW     int
+	Filters    int
+	PoolStride int
+	LocalKH    int
+	LocalC     int
+	DenseUnits int
+	Dropout    float64
+	Act        string
+	NumClasses int
+	Weights    []byte // nn.Network.SaveWeights stream
+}
+
+// WriteModel serializes a model (architecture + weights) to w.
+func WriteModel(w io.Writer, m *Model) error {
+	var weights bytes.Buffer
+	if err := m.Net.SaveWeights(&weights); err != nil {
+		return fmt.Errorf("serve: serializing %q weights: %w", m.Name, err)
+	}
+	a := m.Arch
+	s := modelSnapshot{
+		Name: m.Name, Alphabet: m.Space.Alphabet, M: m.Space.M,
+		InH: a.InH, InW: a.InW, KH: a.KH, KW: a.KW, Filters: a.Filters,
+		PoolStride: a.PoolStride, LocalKH: a.LocalKH, LocalC: a.LocalC,
+		DenseUnits: a.DenseUnits, Dropout: a.Dropout, Act: a.Act.String(),
+		NumClasses: a.NumClasses, Weights: weights.Bytes(),
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// SaveModel writes the model to path atomically (write temp + rename),
+// so a server hot-reloading the file never observes a torn write.
+func SaveModel(path string, m *Model) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".flowmodel-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteModel(tmp, m); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadModel deserializes a model from r. The network is rebuilt from
+// the stored architecture and the weights loaded into it.
+func ReadModel(r io.Reader) (*Model, error) {
+	var s modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("serve: decoding model: %w", err)
+	}
+	act, err := nn.ActivationByName(s.Act)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", s.Name, err)
+	}
+	if len(s.Alphabet) == 0 || s.M < 1 {
+		return nil, fmt.Errorf("serve: model %q has an empty flow space", s.Name)
+	}
+	arch := nn.ArchConfig{
+		InH: s.InH, InW: s.InW, KH: s.KH, KW: s.KW, Filters: s.Filters,
+		PoolStride: s.PoolStride, LocalKH: s.LocalKH, LocalC: s.LocalC,
+		DenseUnits: s.DenseUnits, Dropout: s.Dropout, Act: act,
+		NumClasses: s.NumClasses,
+	}
+	net := arch.Build(0) // weights are fully overwritten below
+	if err := net.LoadWeights(bytes.NewReader(s.Weights)); err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", s.Name, err)
+	}
+	return &Model{
+		Name:     s.Name,
+		Space:    flow.NewSpace(s.Alphabet, s.M),
+		Arch:     arch,
+		Net:      net,
+		LoadedAt: time.Now(),
+	}, nil
+}
+
+// LoadModelFile reads a model file written by SaveModel and records its
+// path so the registry can hot-reload it.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	m.Path = path
+	return m, nil
+}
+
+// Registry holds the named servable models. Reads resolve through one
+// atomic pointer to an immutable name→Model map; mutations (register,
+// reload) copy the map under a mutex and swap the pointer, so a reload
+// is a zero-downtime pointer swap and readers never block.
+type Registry struct {
+	mu      sync.Mutex // serializes mutations only
+	snap    atomic.Pointer[registrySnap]
+	reloads atomic.Int64
+}
+
+type registrySnap struct {
+	byName      map[string]*Model
+	defaultName string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.snap.Store(&registrySnap{byName: map[string]*Model{}})
+	return r
+}
+
+// Register installs (or replaces) a model under m.Name and returns the
+// installed snapshot. The version is assigned by the registry: one past
+// the version currently registered under the same name. The first model
+// registered becomes the default. The given Model is stored as-is and
+// must not be mutated afterwards.
+func (r *Registry) Register(m *Model) *Model {
+	if m.Name == "" {
+		panic("serve: registering unnamed model")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	next := &registrySnap{byName: make(map[string]*Model, len(old.byName)+1), defaultName: old.defaultName}
+	for k, v := range old.byName {
+		next.byName[k] = v
+	}
+	m.Version = 1
+	if prev, ok := old.byName[m.Name]; ok {
+		m.Version = prev.Version + 1
+	}
+	if m.LoadedAt.IsZero() {
+		m.LoadedAt = time.Now()
+	}
+	next.byName[m.Name] = m
+	if next.defaultName == "" {
+		next.defaultName = m.Name
+	}
+	r.snap.Store(next)
+	return m
+}
+
+// SetDefault makes name the model served when requests omit one.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	if _, ok := old.byName[name]; !ok {
+		return fmt.Errorf("serve: unknown model %q", name)
+	}
+	next := &registrySnap{byName: old.byName, defaultName: name}
+	r.snap.Store(next)
+	return nil
+}
+
+// Get resolves a model snapshot lock-free. An empty name selects the
+// default model.
+func (r *Registry) Get(name string) (*Model, error) {
+	s := r.snap.Load()
+	if name == "" {
+		name = s.defaultName
+		if name == "" {
+			return nil, fmt.Errorf("serve: no models registered")
+		}
+	}
+	m, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// DefaultName returns the current default model name ("" when empty).
+func (r *Registry) DefaultName() string { return r.snap.Load().defaultName }
+
+// List returns the registered models sorted by name.
+func (r *Registry) List() []*Model {
+	s := r.snap.Load()
+	out := make([]*Model, 0, len(s.byName))
+	for _, m := range s.byName {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reload re-reads the named model from its source file and atomically
+// swaps it in with a bumped version. In-flight requests finish on the
+// old snapshot; requests resolving after the swap see the new one.
+// Models without a source path cannot be reloaded.
+func (r *Registry) Reload(name string) (*Model, error) {
+	cur, err := r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if cur.Path == "" {
+		return nil, fmt.Errorf("serve: model %q is in-memory only (no source file)", cur.Name)
+	}
+	fresh, err := LoadModelFile(cur.Path)
+	if err != nil {
+		return nil, err
+	}
+	fresh.Name = cur.Name // the registry name wins over the stored one
+	r.reloads.Add(1)
+	return r.Register(fresh), nil
+}
+
+// Reloads returns how many successful reloads the registry has served.
+func (r *Registry) Reloads() int64 { return r.reloads.Load() }

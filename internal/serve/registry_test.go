@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// TestModelRoundTrip proves a model survives serialization: the loaded
+// network scores flows bit-identically to the original.
+func TestModelRoundTrip(t *testing.T) {
+	m := testModel("rt", 7)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "rt" || back.Space.N() != m.Space.N() || back.Space.M != m.Space.M {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if back.Arch != m.Arch {
+		t.Fatalf("architecture lost: %+v != %+v", back.Arch, m.Arch)
+	}
+	flows := m.Space.RandomUnique(rand.New(rand.NewSource(1)), 5)
+	want, got := directProbs(m, flows), directProbs(back, flows)
+	for i := range want {
+		if !sameProbs(want[i], got[i]) {
+			t.Fatalf("flow %d: reloaded model scores differently", i)
+		}
+	}
+}
+
+// TestSaveLoadModelFile covers the file path helpers including the
+// atomic write and the recorded reload path.
+func TestSaveLoadModelFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.flowmodel")
+	m := testModel("disk", 3)
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Path != path {
+		t.Fatalf("loaded model path %q, want %q", back.Path, path)
+	}
+	if _, err := LoadModelFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("want an error for a missing file")
+	}
+}
+
+// TestRegistrySemantics covers defaulting, version bumps, lock-free
+// gets of swapped snapshots, and reload error cases.
+func TestRegistrySemantics(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Get(""); err == nil {
+		t.Fatal("empty registry must error")
+	}
+	a := reg.Register(testModel("a", 1))
+	if a.Version != 1 {
+		t.Fatalf("first registration version %d", a.Version)
+	}
+	if reg.DefaultName() != "a" {
+		t.Fatal("first model must become the default")
+	}
+	b := reg.Register(testModel("b", 2))
+	if got, _ := reg.Get(""); got != a {
+		t.Fatal("default must stay the first model")
+	}
+	if err := reg.SetDefault("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := reg.Get(""); got != b {
+		t.Fatal("SetDefault did not take")
+	}
+	if err := reg.SetDefault("nope"); err == nil {
+		t.Fatal("SetDefault of an unknown model must error")
+	}
+	if _, err := reg.Get("nope"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+
+	a2 := reg.Register(testModel("a", 3))
+	if a2.Version != 2 {
+		t.Fatalf("re-registration version %d, want 2", a2.Version)
+	}
+	if got, _ := reg.Get("a"); got != a2 {
+		t.Fatal("re-registration must swap the snapshot")
+	}
+	names := reg.List()
+	if len(names) != 2 || names[0].Name != "a" || names[1].Name != "b" {
+		t.Fatalf("list: %v", names)
+	}
+
+	// In-memory models cannot reload; unknown names error.
+	if _, err := reg.Reload("a"); err == nil {
+		t.Fatal("reloading an in-memory model must error")
+	}
+	if _, err := reg.Reload("ghost"); err == nil {
+		t.Fatal("reloading an unknown model must error")
+	}
+}
+
+// TestCacheLRU covers hits, version keying, eviction order and stats.
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	p1, p2, p3 := []float64{1}, []float64{2}, []float64{3}
+	c.Put("m", 1, "k1", p1)
+	c.Put("m", 1, "k2", p2)
+	if got, ok := c.Get("m", 1, "k1"); !ok || got[0] != 1 {
+		t.Fatal("k1 must hit")
+	}
+	// A different model version is a different key.
+	if _, ok := c.Get("m", 2, "k1"); ok {
+		t.Fatal("a reloaded model must not serve stale scores")
+	}
+	// k1 was touched above, so inserting k3 evicts k2.
+	c.Put("m", 1, "k3", p3)
+	if _, ok := c.Get("m", 1, "k2"); ok {
+		t.Fatal("k2 must have been evicted (LRU)")
+	}
+	if _, ok := c.Get("m", 1, "k1"); !ok {
+		t.Fatal("k1 must survive (recently used)")
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Evictions != 1 || st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", st.HitRate())
+	}
+
+	// Capacity 0 disables caching entirely.
+	off := NewCache(0)
+	off.Put("m", 1, "k", p1)
+	if _, ok := off.Get("m", 1, "k"); ok {
+		t.Fatal("disabled cache must miss")
+	}
+}

@@ -1,0 +1,578 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowgen/internal/core"
+	"flowgen/internal/flow"
+	"flowgen/internal/nn"
+)
+
+// ServerConfig tunes the HTTP serving layer.
+type ServerConfig struct {
+	Batcher   BatcherConfig
+	CacheSize int // scored-flow memo capacity (≤0 disables)
+	// MaxFlows bounds how many flows one predict/recommend request may
+	// submit, and MaxPool how large a server-generated recommendation
+	// pool may be (both guard against a single request monopolizing the
+	// service).
+	MaxFlows int
+	MaxPool  int
+}
+
+// DefaultServerConfig returns production-shaped limits.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		Batcher:   DefaultBatcherConfig(),
+		CacheSize: 4096,
+		MaxFlows:  1024,
+		MaxPool:   200000,
+	}
+}
+
+// endpointMetrics aggregates one endpoint's traffic counters.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	totalNS  atomic.Int64
+	maxNS    atomic.Int64
+}
+
+// EndpointStats is the JSON form of one endpoint's counters.
+type EndpointStats struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	MeanMicro float64 `json:"mean_latency_us"`
+	MaxMicro  float64 `json:"max_latency_us"`
+}
+
+// Server exposes a Registry over JSON HTTP: prediction (micro-batched
+// through per-model Batchers and memoized in a Cache), top-k
+// angel/devil recommendation (streamed, never materializing pool-sized
+// tensors), model listing and hot reload, health and stats.
+type Server struct {
+	Registry *Registry
+	cfg      ServerConfig
+	cache    *Cache
+	start    time.Time
+
+	mu       sync.Mutex
+	batchers map[string]*Batcher
+	closed   bool
+
+	metrics sync.Map // endpoint name → *endpointMetrics
+}
+
+// NewServer wires a server over the registry. Call Close to stop the
+// per-model batch schedulers.
+func NewServer(reg *Registry, cfg ServerConfig) *Server {
+	if cfg.MaxFlows < 1 {
+		cfg.MaxFlows = 1
+	}
+	if cfg.MaxPool < 1 {
+		cfg.MaxPool = 1
+	}
+	return &Server{
+		Registry: reg,
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheSize),
+		start:    time.Now(),
+		batchers: map[string]*Batcher{},
+	}
+}
+
+// Close stops every batcher the server started; later requests that
+// need a batcher fail with ErrClosed instead of resurrecting one.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, b := range s.batchers {
+		b.Close()
+	}
+	s.batchers = map[string]*Batcher{}
+}
+
+// batcherFor returns (creating on first use) the micro-batcher serving
+// one registry name. Each name gets its own queue so flows for
+// different models never share a forward pass; the batcher re-resolves
+// the name per flush, which is what makes hot reload seamless.
+func (s *Server) batcherFor(name string) (*Batcher, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if b, ok := s.batchers[name]; ok {
+		return b, nil
+	}
+	b := NewBatcher(func() (*Model, error) { return s.Registry.Get(name) }, s.cfg.Batcher)
+	s.batchers[name] = b
+	return b, nil
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
+	mux.HandleFunc("POST /v1/models/reload", s.instrument("reload", s.handleReload))
+	mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	mux.HandleFunc("POST /v1/recommend", s.instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	return mux
+}
+
+// httpError is an error with a dedicated HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps a handler with the per-endpoint counters and uniform
+// JSON error rendering.
+func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
+	m := &endpointMetrics{}
+	s.metrics.Store(name, m)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		body, err := h(r)
+		ns := time.Since(t0).Nanoseconds()
+		m.requests.Add(1)
+		m.totalNS.Add(ns)
+		for {
+			cur := m.maxNS.Load()
+			if ns <= cur || m.maxNS.CompareAndSwap(cur, ns) {
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			m.errors.Add(1)
+			status := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				status = he.status
+			} else if errors.Is(err, ErrQueueFull) {
+				status = http.StatusTooManyRequests
+			} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				status = http.StatusGatewayTimeout
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(body)
+	}
+}
+
+// ---------------------------------------------------------------- health
+
+type healthResponse struct {
+	Status        string  `json:"status"`
+	Models        int     `json:"models"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealth(*http.Request) (any, error) {
+	return healthResponse{Status: "ok", Models: len(s.Registry.List()),
+		UptimeSeconds: time.Since(s.start).Seconds()}, nil
+}
+
+// ---------------------------------------------------------------- models
+
+// ModelInfo describes one registered model.
+type ModelInfo struct {
+	Name     string    `json:"name"`
+	Version  int       `json:"version"`
+	Default  bool      `json:"default"`
+	Classes  int       `json:"classes"`
+	Alphabet []string  `json:"alphabet"`
+	M        int       `json:"m"`
+	Params   int       `json:"params"`
+	Path     string    `json:"path,omitempty"`
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+func modelInfo(m *Model, def string) ModelInfo {
+	return ModelInfo{
+		Name: m.Name, Version: m.Version, Default: m.Name == def,
+		Classes: m.Arch.NumClasses, Alphabet: m.Space.Alphabet, M: m.Space.M,
+		Params: m.Net.NumParams(), Path: m.Path, LoadedAt: m.LoadedAt,
+	}
+}
+
+func (s *Server) handleModels(*http.Request) (any, error) {
+	def := s.Registry.DefaultName()
+	models := s.Registry.List()
+	out := struct {
+		Default string      `json:"default"`
+		Models  []ModelInfo `json:"models"`
+	}{Default: def, Models: make([]ModelInfo, 0, len(models))}
+	for _, m := range models {
+		out.Models = append(out.Models, modelInfo(m, def))
+	}
+	return out, nil
+}
+
+type reloadRequest struct {
+	Name string `json:"name"` // "" reloads every file-backed model
+}
+
+type reloadResult struct {
+	Name    string `json:"name"`
+	Version int    `json:"version,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (s *Server) handleReload(r *http.Request) (any, error) {
+	var req reloadRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	var names []string
+	if req.Name != "" {
+		names = []string{req.Name}
+	} else {
+		for _, m := range s.Registry.List() {
+			if m.Path != "" {
+				names = append(names, m.Name)
+			}
+		}
+		if len(names) == 0 {
+			return nil, badRequest("no file-backed models to reload")
+		}
+	}
+	out := struct {
+		Reloaded []reloadResult `json:"reloaded"`
+	}{}
+	failures := 0
+	for _, name := range names {
+		res := reloadResult{Name: name}
+		if m, err := s.Registry.Reload(name); err != nil {
+			res.Error = err.Error()
+			failures++
+		} else {
+			res.Version = m.Version
+		}
+		out.Reloaded = append(out.Reloaded, res)
+	}
+	if failures == len(names) {
+		// Nothing reloaded — surface it in the status code so callers
+		// (deploy automation watching HTTP codes) see the failure
+		// instead of a 200 with errors buried in the body. Partial
+		// failures still return 200 with per-model errors.
+		if len(names) == 1 {
+			return nil, badRequest("%s", out.Reloaded[0].Error)
+		}
+		return nil, &httpError{status: http.StatusInternalServerError,
+			msg: fmt.Sprintf("all %d reloads failed (first: %s)", len(names), out.Reloaded[0].Error)}
+	}
+	return out, nil
+}
+
+// --------------------------------------------------------------- predict
+
+type predictRequest struct {
+	Model string   `json:"model"` // "" = default model
+	Flows []string `json:"flows"` // "t0; t1; ..." per flow
+}
+
+// FlowScore is one scored flow in a predict/recommend response.
+type FlowScore struct {
+	Flow       string    `json:"flow"`
+	Class      int       `json:"class"`
+	Confidence float64   `json:"confidence"`
+	Probs      []float64 `json:"probs"`
+	Cached     bool      `json:"cached,omitempty"`
+}
+
+type predictResponse struct {
+	Model   string      `json:"model"`
+	Version int         `json:"version"`
+	Results []FlowScore `json:"results"`
+}
+
+func (s *Server) handlePredict(r *http.Request) (any, error) {
+	var req predictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Flows) == 0 {
+		return nil, badRequest("no flows submitted")
+	}
+	if len(req.Flows) > s.cfg.MaxFlows {
+		return nil, badRequest("%d flows exceed the per-request limit of %d", len(req.Flows), s.cfg.MaxFlows)
+	}
+	m, err := s.Registry.Get(req.Model)
+	if err != nil {
+		return nil, badRequest("%s", err.Error())
+	}
+	flows, err := parseFlows(m, req.Flows)
+	if err != nil {
+		return nil, err
+	}
+
+	resp := predictResponse{Model: m.Name, Version: m.Version, Results: make([]FlowScore, len(flows))}
+	// Serve cache hits against the resolved snapshot; score the misses.
+	missIdx := make([]int, 0, len(flows))
+	for i, f := range flows {
+		if probs, ok := s.cache.Get(m.Name, m.Version, f.Key()); ok {
+			resp.Results[i] = scoreOf(req.Flows[i], probs)
+			resp.Results[i].Cached = true
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+
+	switch {
+	case len(missIdx) == 0:
+	case len(missIdx) == 1:
+		// A single miss rides the micro-batcher and coalesces with
+		// concurrent requests into one forward pass.
+		i := missIdx[0]
+		b, err := s.batcherFor(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := b.Submit(r.Context(), m.EncodeFlow(flows[i]))
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(pred.Model.Name, pred.Model.Version, flows[i].Key(), pred.Probs)
+		if pred.Model == m || len(flows) == 1 {
+			// Common case — or every result row came from the batcher:
+			// label the response with the snapshot that actually served
+			// it (the batcher resolves its own, which may be newer after
+			// a concurrent reload).
+			resp.Model, resp.Version = pred.Model.Name, pred.Model.Version
+			resp.Results[i] = scoreOf(req.Flows[i], pred.Probs)
+			break
+		}
+		// A hot reload landed between the cache lookup and the batcher
+		// flush: the cached rows were scored by m, the miss by a newer
+		// snapshot. Rescore the whole request through the new snapshot
+		// so every row (and the version header) is consistent.
+		return s.scoreAll(r, req.Flows, flows, pred.Model)
+	default:
+		// Multi-flow requests are already a batch: stream them directly
+		// through the chunked prediction path.
+		probs, err := m.PredictStream(r.Context(), len(missIdx), s.cfg.Batcher.Workers,
+			core.EncodeFill(m.Space, pick(flows, missIdx), m.EncodeLen()))
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range missIdx {
+			resp.Results[i] = scoreOf(req.Flows[i], probs[j])
+			s.cache.Put(m.Name, m.Version, flows[i].Key(), probs[j])
+		}
+	}
+	return resp, nil
+}
+
+// pick gathers the flows at the given indices.
+func pick(flows []flow.Flow, idx []int) []flow.Flow {
+	out := make([]flow.Flow, len(idx))
+	for j, i := range idx {
+		out[j] = flows[i]
+	}
+	return out
+}
+
+// scoreAll rescores every flow of a request against one model snapshot
+// (the mixed-version fallback after a mid-request hot reload).
+func (s *Server) scoreAll(r *http.Request, texts []string, flows []flow.Flow, m *Model) (any, error) {
+	if err := m.Space.Validate(flows[0]); err != nil {
+		// The reload changed the flow space itself; the request was
+		// parsed against the old one, so the client must retry.
+		return nil, &httpError{status: http.StatusServiceUnavailable,
+			msg: "model reloaded with a different flow space mid-request; retry"}
+	}
+	probs, err := m.PredictStream(r.Context(), len(flows), s.cfg.Batcher.Workers,
+		core.EncodeFill(m.Space, flows, m.EncodeLen()))
+	if err != nil {
+		return nil, err
+	}
+	resp := predictResponse{Model: m.Name, Version: m.Version, Results: make([]FlowScore, len(flows))}
+	for i := range flows {
+		resp.Results[i] = scoreOf(texts[i], probs[i])
+		s.cache.Put(m.Name, m.Version, flows[i].Key(), probs[i])
+	}
+	return resp, nil
+}
+
+func scoreOf(text string, probs []float64) FlowScore {
+	cls := argmax(probs)
+	return FlowScore{Flow: text, Class: cls, Confidence: probs[cls], Probs: probs}
+}
+
+func parseFlows(m *Model, texts []string) ([]flow.Flow, error) {
+	out := make([]flow.Flow, len(texts))
+	for i, text := range texts {
+		f, err := m.Space.Parse(text)
+		if err != nil {
+			return nil, badRequest("flow %d: %s", i, err.Error())
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------- recommend
+
+type recommendRequest struct {
+	Model string   `json:"model"`
+	TopK  int      `json:"top_k"` // default 10
+	Flows []string `json:"flows"` // explicit candidate pool, or:
+	Pool  int      `json:"pool"`  // server-generated pool size
+	Seed  int64    `json:"seed"`  // pool sampling seed (default 1)
+}
+
+type recommendResponse struct {
+	Model    string      `json:"model"`
+	Version  int         `json:"version"`
+	PoolSize int         `json:"pool_size"`
+	Angels   []FlowScore `json:"angels"`
+	Devils   []FlowScore `json:"devils"`
+}
+
+// handleRecommend scores a candidate pool — submitted flows or a
+// server-sampled pool — and returns the top-k angel-flows (highest
+// class-0 confidence) and devil-flows (highest class-n confidence),
+// exactly the paper's Section 3.3 selection rule. Pool encodings stream
+// through chunk-sized buffers: a 100k-flow pool never materializes as
+// one tensor inside the server.
+func (s *Server) handleRecommend(r *http.Request) (any, error) {
+	var req recommendRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.TopK <= 0 {
+		req.TopK = 10
+	}
+	m, err := s.Registry.Get(req.Model)
+	if err != nil {
+		return nil, badRequest("%s", err.Error())
+	}
+
+	var pool []flow.Flow
+	switch {
+	case len(req.Flows) > 0 && req.Pool > 0:
+		return nil, badRequest("submit either flows or a pool size, not both")
+	case len(req.Flows) > 0:
+		if len(req.Flows) > s.cfg.MaxPool {
+			return nil, badRequest("%d flows exceed the pool limit of %d", len(req.Flows), s.cfg.MaxPool)
+		}
+		if pool, err = parseFlows(m, req.Flows); err != nil {
+			return nil, err
+		}
+	case req.Pool > 0:
+		if req.Pool > s.cfg.MaxPool {
+			return nil, badRequest("pool %d exceeds the limit of %d", req.Pool, s.cfg.MaxPool)
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		pool = m.Space.RandomUnique(rand.New(rand.NewSource(seed)), req.Pool)
+	default:
+		return nil, badRequest("submit flows or a pool size")
+	}
+
+	probs, err := m.PredictStream(r.Context(), len(pool), s.cfg.Batcher.Workers,
+		core.EncodeFill(m.Space, pool, m.EncodeLen()))
+	if err != nil {
+		return nil, err
+	}
+	angels, devils := core.SelectFlows(core.ScoreFlows(pool, probs), m.Arch.NumClasses, req.TopK)
+
+	resp := recommendResponse{Model: m.Name, Version: m.Version, PoolSize: len(pool)}
+	render := func(sel []core.ScoredFlow) []FlowScore {
+		out := make([]FlowScore, len(sel))
+		for i, sf := range sel {
+			out[i] = FlowScore{Flow: sf.Flow.String(m.Space), Class: sf.Class,
+				Confidence: sf.Confidence, Probs: sf.Probs}
+		}
+		return out
+	}
+	resp.Angels, resp.Devils = render(angels), render(devils)
+	return resp, nil
+}
+
+// ----------------------------------------------------------------- stats
+
+type statsResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Batchers      map[string]BatcherStats  `json:"batchers"`
+	Cache         CacheStats               `json:"cache"`
+	Reloads       int64                    `json:"reloads"`
+}
+
+func (s *Server) handleStats(*http.Request) (any, error) {
+	out := statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Endpoints:     map[string]EndpointStats{},
+		Batchers:      map[string]BatcherStats{},
+		Cache:         s.cache.Stats(),
+		Reloads:       s.Registry.Reloads(),
+	}
+	s.metrics.Range(func(k, v any) bool {
+		m := v.(*endpointMetrics)
+		st := EndpointStats{Requests: m.requests.Load(), Errors: m.errors.Load()}
+		if st.Requests > 0 {
+			st.MeanMicro = float64(m.totalNS.Load()) / float64(st.Requests) / 1e3
+		}
+		st.MaxMicro = float64(m.maxNS.Load()) / 1e3
+		out.Endpoints[k.(string)] = st
+		return true
+	})
+	s.mu.Lock()
+	names := make([]string, 0, len(s.batchers))
+	for name := range s.batchers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out.Batchers[name] = s.batchers[name].Stats()
+	}
+	s.mu.Unlock()
+	return out, nil
+}
+
+// decodeJSON strictly decodes a JSON request body.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("invalid request body: %s", err.Error())
+	}
+	return nil
+}
+
+// BootstrapModel builds a deterministic, freshly initialized in-memory
+// model over the paper's flow space — enough to bring a server up with
+// no model files (CI smoke tests, demos). The weights are untrained;
+// real deployments load files produced by flowgen -save-model.
+func BootstrapModel(name string) *Model {
+	space := flow.PaperSpace()
+	h, w := core.EncodeShape(space)
+	arch := nn.FastArch(7)
+	arch.InH, arch.InW = h, w
+	return &Model{Name: name, Space: space, Arch: arch, Net: arch.Build(1)}
+}

@@ -180,7 +180,16 @@ func Im2ColBlock(src []float64, c, h, w, kh, kw, padY, padX, oh, ow int, dst []f
 // Im2Col) back into a C×H×W image gradient. dst is accumulated into, not
 // overwritten — zero it first if it holds stale values.
 func Col2Im(cols []float64, c, h, w, kh, kw, padY, padX, oh, ow int, dst []float64) {
-	if len(dst) < c*h*w || len(cols) < c*kh*kw*oh*ow {
+	Col2ImBlock(cols, c, h, w, kh, kw, padY, padX, oh, ow, dst, oh*ow, 0)
+}
+
+// Col2ImBlock is Col2Im reading from a wider patch-gradient matrix whose
+// rows have rowStride elements, taking this image's columns at colOff —
+// the scatter inverse of Im2ColBlock. It lets the convolution backward
+// pass compute one blocked input-gradient GEMM for several samples and
+// then scatter each sample's slice back into its image gradient.
+func Col2ImBlock(cols []float64, c, h, w, kh, kw, padY, padX, oh, ow int, dst []float64, rowStride, colOff int) {
+	if len(dst) < c*h*w || len(cols) < (c*kh*kw-1)*rowStride+colOff+oh*ow {
 		panic("tensor: col2im buffer size mismatch")
 	}
 	r := 0
@@ -188,7 +197,7 @@ func Col2Im(cols []float64, c, h, w, kh, kw, padY, padX, oh, ow int, dst []float
 		chOff := ic * h * w
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				row := cols[r*oh*ow : (r+1)*oh*ow]
+				row := cols[r*rowStride+colOff : r*rowStride+colOff+oh*ow]
 				for y := 0; y < oh; y++ {
 					iy := y + ky - padY
 					if iy < 0 || iy >= h {

@@ -244,3 +244,35 @@ func TestBatchViews(t *testing.T) {
 		}()
 	}
 }
+
+// TestCol2ImBlockMatchesCol2Im scatters two samples out of one blocked
+// patch-gradient matrix and checks each against the contiguous path.
+func TestCol2ImBlockMatchesCol2Im(t *testing.T) {
+	const c, h, w, kh, kw = 2, 5, 4, 3, 3
+	const padY, padX = 1, 1
+	hw := h * w
+	k := c * kh * kw
+	rng := rand.New(rand.NewSource(17))
+
+	// Blocked matrix: two samples side by side with row stride 2·hw.
+	blocked := make([]float64, k*2*hw)
+	for i := range blocked {
+		blocked[i] = rng.NormFloat64()
+	}
+	for s := 0; s < 2; s++ {
+		// Contiguous copy of sample s's columns.
+		contig := make([]float64, k*hw)
+		for r := 0; r < k; r++ {
+			copy(contig[r*hw:(r+1)*hw], blocked[r*2*hw+s*hw:r*2*hw+(s+1)*hw])
+		}
+		want := make([]float64, c*h*w)
+		Col2Im(contig, c, h, w, kh, kw, padY, padX, h, w, want)
+		got := make([]float64, c*h*w)
+		Col2ImBlock(blocked, c, h, w, kh, kw, padY, padX, h, w, got, 2*hw, s*hw)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sample %d element %d: blocked %v != contiguous %v", s, i, got[i], want[i])
+			}
+		}
+	}
+}

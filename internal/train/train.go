@@ -7,6 +7,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -161,12 +162,22 @@ func Accuracy(net *nn.Network, d *Dataset) float64 {
 }
 
 // AccuracyWorkers is Accuracy with an explicit prediction worker count
-// (≤0 selects GOMAXPROCS).
+// (≤0 selects GOMAXPROCS). Samples stream into chunk-sized worker
+// buffers rather than being packed into one dataset-sized tensor.
 func AccuracyWorkers(net *nn.Network, d *Dataset, workers int) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
-	probs := net.PredictBatch(d.Tensor(), workers)
+	hw := d.H * d.W
+	probs, err := net.PredictStream(context.Background(), d.Len(), []int{1, d.H, d.W}, workers,
+		func(dst []float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				copy(dst[(i-lo)*hw:(i-lo+1)*hw], d.X[i])
+			}
+		})
+	if err != nil {
+		panic("train: background accuracy prediction cancelled: " + err.Error())
+	}
 	correct := 0
 	for i, p := range probs {
 		if Argmax(p) == d.Y[i] {
