@@ -36,6 +36,7 @@ func main() {
 		seed       = flag.Int64("seed", 11, "random seed")
 		memo       = flag.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
 		predW      = flag.Int("predworkers", 0, "pool-prediction workers (0 = GOMAXPROCS)")
+		precision  = flag.String("precision", "f32", "pool-prediction engine: f32 (packed fast path) or f64 (training numerics)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,11 @@ func main() {
 	}
 
 	base := exp.DefaultRunConfig(space, metric)
+	prec, err := nn.ParsePrecision(*precision)
+	if err != nil {
+		fatal(err)
+	}
+	base.Precision = prec
 	base.StepsPerRound = *steps
 	base.PredictWorkers = *predW
 	if *numOut > 0 {

@@ -22,6 +22,7 @@ import (
 	"flowgen/internal/circuits"
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
+	"flowgen/internal/nn"
 	"flowgen/internal/rewrite"
 	"flowgen/internal/serve"
 	"flowgen/internal/synth"
@@ -40,6 +41,7 @@ func main() {
 		steps      = flag.Int("steps", 400, "CNN steps per retraining round")
 		seed       = flag.Int64("seed", 1, "random seed")
 		optimizer  = flag.String("optimizer", "RMSProp", "SGD|Momentum|AdaGrad|RMSProp|Ftrl")
+		precision  = flag.String("precision", "f32", "pool-prediction engine: f32 (packed fast path) or f64 (training numerics)")
 		memo       = flag.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
 		paper      = flag.Bool("paper", false, "use the paper's full-scale parameters")
 		verify     = flag.Bool("verify", false, "synthesize the generated flows and report accuracy")
@@ -81,6 +83,11 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Optimizer = *optimizer
+	prec, err := nn.ParsePrecision(*precision)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Precision = prec
 	switch *objective {
 	case "area":
 		cfg.Metrics = []synth.Metric{synth.MetricArea}

@@ -6,6 +6,8 @@
 //	flowserve -models ./models                  # serve every *.flowmodel in a directory
 //	flowserve -model alu16.flowmodel            # serve one file
 //	flowserve -bootstrap demo                   # untrained demo model, no files needed
+//	flowserve -models ./models -watch 2s        # auto-reload models whose files change
+//	flowserve -model alu16.flowmodel -precision f64   # opt out of the f32 fast path
 //
 // Endpoints:
 //
@@ -31,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"flowgen/internal/nn"
 	"flowgen/internal/serve"
 )
 
@@ -47,9 +50,15 @@ func main() {
 		workers   = flag.Int("workers", 0, "prediction workers per batch (0 = GOMAXPROCS)")
 		cacheN    = flag.Int("cache", 4096, "scored-flow cache capacity (0 disables)")
 		maxPool   = flag.Int("maxpool", 200000, "largest recommendation pool one request may score")
+		precision = flag.String("precision", "f32", "inference engine: f32 (packed fast path) or f64 (training numerics)")
+		watch     = flag.Duration("watch", 0, "poll model files at this interval and hot-reload on change (0 disables)")
 	)
 	flag.Parse()
 
+	prec, err := nn.ParsePrecision(*precision)
+	if err != nil {
+		fatal(err)
+	}
 	reg := serve.NewRegistry()
 	load := func(path string) error {
 		m, err := serve.LoadModelFile(path)
@@ -59,6 +68,7 @@ func main() {
 		if m.Name == "" {
 			m.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		}
+		m.Precision = prec
 		reg.Register(m)
 		fmt.Fprintf(os.Stderr, "flowserve: loaded %s@v%d from %s (%d params, %d classes)\n",
 			m.Name, m.Version, path, m.Net.NumParams(), m.Arch.NumClasses)
@@ -85,7 +95,9 @@ func main() {
 		}
 	}
 	if *bootstrap != "" {
-		m := reg.Register(serve.BootstrapModel(*bootstrap))
+		boot := serve.BootstrapModel(*bootstrap)
+		boot.Precision = prec
+		m := reg.Register(boot)
 		fmt.Fprintf(os.Stderr, "flowserve: bootstrapped untrained model %s (%d params)\n",
 			m.Name, m.Net.NumParams())
 	}
@@ -105,11 +117,24 @@ func main() {
 	srv := serve.NewServer(reg, cfg)
 	defer srv.Close()
 
+	if *watch > 0 {
+		watcher := serve.NewWatcher(reg)
+		watchCtx, stopWatch := context.WithCancel(context.Background())
+		defer stopWatch()
+		go watcher.Run(watchCtx, *watch, func(ev serve.WatchEvent) {
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "flowserve: watch reload %s failed: %v\n", ev.Name, ev.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "flowserve: model file changed — %s now v%d\n", ev.Name, ev.Version)
+		})
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "flowserve: serving %d model(s) on http://%s (default %q)\n",
-		len(reg.List()), *addr, reg.DefaultName())
+	fmt.Fprintf(os.Stderr, "flowserve: serving %d model(s) on http://%s (default %q, %s engine)\n",
+		len(reg.List()), *addr, reg.DefaultName(), prec)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

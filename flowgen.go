@@ -59,6 +59,12 @@ type (
 	LabelModel = label.Model
 	// ArchConfig describes the CNN classifier architecture (Figure 3).
 	ArchConfig = nn.ArchConfig
+	// Precision selects the inference engine (F32 packed fast path, the
+	// default, or F64 training numerics).
+	Precision = nn.Precision
+	// InferenceNet is the packed float32 forward-only snapshot of a
+	// trained network — the serving/pool-prediction fast path.
+	InferenceNet = nn.InferenceNet
 	// ServeModel is one immutable servable classifier snapshot.
 	ServeModel = serve.Model
 	// ServeRegistry holds named servable models with hot-reload.
@@ -71,6 +77,9 @@ type (
 	ServeServer = serve.Server
 	// ServerConfig tunes the HTTP serving layer.
 	ServerConfig = serve.ServerConfig
+	// ServeWatcher hot-reloads file-backed models when their files
+	// change (flowserve -watch).
+	ServeWatcher = serve.Watcher
 )
 
 // Metric values.
@@ -78,6 +87,24 @@ const (
 	MetricArea  = synth.MetricArea
 	MetricDelay = synth.MetricDelay
 )
+
+// Precision values: F32 is the packed float32 inference fast path (the
+// default for pool prediction and serving), F64 the full-precision
+// training-numerics engine.
+const (
+	F32 = nn.F32
+	F64 = nn.F64
+)
+
+// NewInferenceNet compiles a trained network into the packed float32
+// inference engine for the given input image shape.
+func NewInferenceNet(net *nn.Network, inH, inW int) (*InferenceNet, error) {
+	return nn.NewInferenceNet(net, inH, inW)
+}
+
+// NewServeWatcher baselines the registry's file-backed models for
+// change-driven hot reload; run its Run method in a goroutine.
+func NewServeWatcher(reg *ServeRegistry) *ServeWatcher { return serve.NewWatcher(reg) }
 
 // DefaultAlphabet is the transformation set S of the paper:
 // {balance, restructure, rewrite, refactor, rewrite -z, refactor -z}.

@@ -48,6 +48,12 @@ type Config struct {
 	Optimizer string  // one of opt.Names (paper best: RMSProp)
 	LearnRate float64 // paper: 1e-4
 	Seed      int64
+
+	// Precision selects the inference engine for pool prediction and
+	// accuracy evaluation. Training and gradients always run float64;
+	// the zero value (nn.F32) scores pools through the packed float32
+	// engine, nn.F64 opts back into training numerics.
+	Precision nn.Precision
 }
 
 // DefaultConfig returns a configuration with the paper's structure but
@@ -230,7 +236,7 @@ func (fw *Framework) Run(progress Progress) (*Result, error) {
 			Labeled:   labeled,
 			Steps:     steps,
 			Loss:      loss,
-			TrainAcc:  train.Accuracy(net, ds),
+			TrainAcc:  train.AccuracyPrec(net, ds, 0, cfg.Precision),
 			Collect:   collectDur,
 			TrainTime: time.Since(tTrain),
 		})
@@ -307,6 +313,16 @@ func EncodeFill(space flow.Space, pool []flow.Flow, hw int) func(dst []float64, 
 	}
 }
 
+// EncodeFill32 is EncodeFill for the float32 engine's
+// nn.InferenceNet.PredictStream32.
+func EncodeFill32(space flow.Space, pool []flow.Flow, hw int) func(dst []float32, lo, hi int) {
+	return func(dst []float32, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pool[i].EncodeInto32(space, dst[(i-lo)*hw:(i-lo+1)*hw])
+		}
+	}
+}
+
 // ScoreFlows pairs pool flows with their predicted distributions.
 func ScoreFlows(pool []flow.Flow, probs [][]float64) []ScoredFlow {
 	out := make([]ScoredFlow, len(pool))
@@ -317,23 +333,26 @@ func ScoreFlows(pool []flow.Flow, probs [][]float64) []ScoredFlow {
 	return out
 }
 
-// PredictPool classifies every pool flow through the batched network,
-// sharding the pool across a prediction worker pool (GOMAXPROCS
-// workers). Encodings are streamed into chunk-sized worker buffers
-// instead of materializing one pool-sized tensor (~115 MB at the
-// paper's 100k-flow pool), so peak memory is flat in the pool size.
-// Results are deterministic and identical to per-flow prediction
-// regardless of sharding.
+// PredictPool classifies every pool flow, sharding the pool across a
+// prediction worker pool (GOMAXPROCS workers). Encodings are streamed
+// into chunk-sized worker buffers instead of materializing one
+// pool-sized tensor (~115 MB at the paper's 100k-flow pool), so peak
+// memory is flat in the pool size. Under the default cfg.Precision the
+// network is snapshotted once into the packed float32 engine
+// (nn.InferenceNet) and the pool streams through PredictStream32;
+// nn.F64 keeps the full-precision path. Either way results are
+// deterministic regardless of sharding.
 func (fw *Framework) PredictPool(net *nn.Network, pool []flow.Flow) []ScoredFlow {
 	cfg := fw.Cfg
 	if len(pool) == 0 {
 		return nil
 	}
-	probs, err := net.PredictStream(context.Background(), len(pool),
-		[]int{1, cfg.EncodeH, cfg.EncodeW}, 0,
-		EncodeFill(cfg.Space, pool, cfg.EncodeH*cfg.EncodeW))
+	hw := cfg.EncodeH * cfg.EncodeW
+	probs, err := nn.PredictStreamPrec(context.Background(), net, cfg.Precision,
+		len(pool), cfg.EncodeH, cfg.EncodeW, 0,
+		EncodeFill(cfg.Space, pool, hw), EncodeFill32(cfg.Space, pool, hw))
 	if err != nil {
-		panic("core: background pool prediction cancelled: " + err.Error())
+		panic("core: pool prediction failed: " + err.Error())
 	}
 	return ScoreFlows(pool, probs)
 }

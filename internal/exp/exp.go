@@ -140,6 +140,10 @@ type RunConfig struct {
 	// PredictWorkers shards pool prediction and accuracy evaluation
 	// across this many workers (≤0 selects GOMAXPROCS).
 	PredictWorkers int
+	// Precision selects the inference engine for pool prediction and
+	// accuracy measurement (training always runs float64). The zero
+	// value is the packed float32 engine.
+	Precision nn.Precision
 }
 
 // DefaultRunConfig mirrors the paper's protocol at harness scale.
@@ -211,7 +215,7 @@ func RunIncremental(b *Bundle, rc RunConfig) ([]CurvePoint, *nn.Network, *label.
 			Labeled:  labeled,
 			Steps:    steps,
 			Loss:     loss,
-			TrainAcc: train.AccuracyWorkers(net, ds, rc.PredictWorkers),
+			TrainAcc: train.AccuracyPrec(net, ds, rc.PredictWorkers, rc.Precision),
 			GenAcc:   GeneratedAccuracy(b, net, model, rc, h, w),
 			SimTime:  simTime,
 		})
@@ -223,7 +227,7 @@ func RunIncremental(b *Bundle, rc RunConfig) ([]CurvePoint, *nn.Network, *label.
 // pool, select NumOut angel and devil flows, and score them against the
 // pool's ground-truth classes under the current labeling model.
 func GeneratedAccuracy(b *Bundle, net *nn.Network, model *label.Model, rc RunConfig, h, w int) float64 {
-	preds := predictPool(b, net, h, w, rc.PredictWorkers)
+	preds := predictPool(b, net, h, w, rc.PredictWorkers, rc.Precision)
 	angels, devils := core.SelectFlows(preds, model.NumClasses(), rc.NumOut)
 	// Ground-truth class per pool index.
 	truth := make(map[string]int, len(b.Pool))
@@ -250,11 +254,11 @@ func GeneratedAccuracy(b *Bundle, net *nn.Network, model *label.Model, rc RunCon
 	return float64(correct) / float64(total)
 }
 
-func predictPool(b *Bundle, net *nn.Network, h, w, workers int) []core.ScoredFlow {
-	probs, err := net.PredictStream(context.Background(), len(b.Pool), []int{1, h, w}, workers,
-		core.EncodeFill(b.Space, b.Pool, h*w))
+func predictPool(b *Bundle, net *nn.Network, h, w, workers int, prec nn.Precision) []core.ScoredFlow {
+	probs, err := nn.PredictStreamPrec(context.Background(), net, prec, len(b.Pool), h, w, workers,
+		core.EncodeFill(b.Space, b.Pool, h*w), core.EncodeFill32(b.Space, b.Pool, h*w))
 	if err != nil {
-		panic("exp: background pool prediction cancelled: " + err.Error())
+		panic("exp: pool prediction failed: " + err.Error())
 	}
 	return core.ScoreFlows(b.Pool, probs)
 }
@@ -270,7 +274,7 @@ type Selection struct {
 // measured QoRs from the pool ground truth.
 func SelectWithTruth(b *Bundle, net *nn.Network, model *label.Model, rc RunConfig) Selection {
 	h, w := rc.Arch.InH, rc.Arch.InW
-	preds := predictPool(b, net, h, w, rc.PredictWorkers)
+	preds := predictPool(b, net, h, w, rc.PredictWorkers, rc.Precision)
 	angels, devils := core.SelectFlows(preds, model.NumClasses(), rc.NumOut)
 	byKey := make(map[string]synth.QoR, len(b.Pool))
 	for i, f := range b.Pool {

@@ -301,6 +301,22 @@ func (f Flow) EncodeInto(s Space, dst []float64) {
 	}
 }
 
+// EncodeInto32 is EncodeInto writing float32s — the encoding is exactly
+// representable either way (zeros and ones), so the f32 inference
+// engine's streamed fills use this to skip a float64 round trip.
+func (f Flow) EncodeInto32(s Space, dst []float32) {
+	L, n := s.Length(), s.N()
+	if len(dst) != L*n {
+		panic(fmt.Sprintf("flow: encoding needs %d elements, dst has %d", L*n, len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, t := range f.Indices {
+		dst[j*n+t] = 1
+	}
+}
+
 // DefaultAlphabet is the transformation set S of the paper's experiments.
 var DefaultAlphabet = []string{"balance", "restructure", "rewrite", "refactor", "rewrite -z", "refactor -z"}
 

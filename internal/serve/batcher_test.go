@@ -26,15 +26,20 @@ func testModel(name string, seed int64) *Model {
 	return &Model{Name: name, Space: space, Arch: arch, Net: arch.Build(seed)}
 }
 
-// directProbs scores flows through the plain batched path (the serving
-// layer's ground truth).
+// directProbs scores flows through the model's own direct batched path
+// (the serving layer's ground truth — precision-routed, so batcher and
+// streaming responses must be bit-identical to it under either engine).
 func directProbs(m *Model, flows []flow.Flow) [][]float64 {
 	hw := m.EncodeLen()
 	x := tensor.New(len(flows), 1, m.Arch.InH, m.Arch.InW)
 	for i, f := range flows {
 		f.EncodeInto(m.Space, x.Data[i*hw:(i+1)*hw])
 	}
-	return m.Net.PredictBatch(x, 1)
+	probs, err := m.PredictBatchCtx(context.Background(), x, 1)
+	if err != nil {
+		panic(err)
+	}
+	return probs
 }
 
 func sameProbs(a, b []float64) bool {
@@ -50,58 +55,64 @@ func sameProbs(a, b []float64) bool {
 }
 
 // TestBatcherMatchesDirect hammers one batcher from many goroutines and
-// requires every response to be bit-identical to the direct
-// PredictBatch scoring of the same flow — and the traffic to have
-// actually coalesced into multi-request batches.
+// requires every response to be bit-identical to the direct batched
+// scoring of the same flow — and the traffic to have actually coalesced
+// into multi-request batches. It runs against both serving engines: the
+// packed f32 snapshot (the default) and the f64 clone pool.
 func TestBatcherMatchesDirect(t *testing.T) {
-	m := testModel("m", 1)
-	const clients, perClient = 24, 8
-	flows := m.Space.RandomUnique(rand.New(rand.NewSource(2)), clients*perClient)
-	want := directProbs(m, flows)
+	for _, prec := range []nn.Precision{nn.F32, nn.F64} {
+		t.Run(prec.String(), func(t *testing.T) {
+			m := testModel("m", 1)
+			m.Precision = prec
+			const clients, perClient = 24, 8
+			flows := m.Space.RandomUnique(rand.New(rand.NewSource(2)), clients*perClient)
+			want := directProbs(m, flows)
 
-	b := NewBatcher(func() (*Model, error) { return m, nil },
-		BatcherConfig{MaxBatch: 32, MaxWait: 2 * time.Millisecond, QueueCap: 512, Workers: 1})
-	defer b.Close()
+			b := NewBatcher(func() (*Model, error) { return m, nil },
+				BatcherConfig{MaxBatch: 32, MaxWait: 2 * time.Millisecond, QueueCap: 512, Workers: 1})
+			defer b.Close()
 
-	errs := make(chan error, clients)
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for i := 0; i < perClient; i++ {
-				idx := c*perClient + i
-				pred, err := b.Submit(context.Background(), m.EncodeFlow(flows[idx]))
-				if err != nil {
-					errs <- fmt.Errorf("client %d flow %d: %v", c, i, err)
-					return
-				}
-				if !sameProbs(pred.Probs, want[idx]) {
-					errs <- fmt.Errorf("client %d flow %d: batched response differs from direct scoring", c, i)
-					return
-				}
-				if pred.Class != argmax(want[idx]) || pred.Model != m {
-					errs <- fmt.Errorf("client %d flow %d: wrong class or model", c, i)
-					return
-				}
+			errs := make(chan error, clients)
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < perClient; i++ {
+						idx := c*perClient + i
+						pred, err := b.Submit(context.Background(), m.EncodeFlow(flows[idx]))
+						if err != nil {
+							errs <- fmt.Errorf("client %d flow %d: %v", c, i, err)
+							return
+						}
+						if !sameProbs(pred.Probs, want[idx]) {
+							errs <- fmt.Errorf("client %d flow %d: batched response differs from direct scoring", c, i)
+							return
+						}
+						if pred.Class != argmax(want[idx]) || pred.Model != m {
+							errs <- fmt.Errorf("client %d flow %d: wrong class or model", c, i)
+							return
+						}
+					}
+				}(c)
 			}
-		}(c)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Fatal(err)
-	}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
 
-	st := b.Stats()
-	if st.Requests != clients*perClient || st.BatchedFlows != clients*perClient {
-		t.Fatalf("stats lost requests: %+v", st)
-	}
-	if st.Batches >= st.Requests {
-		t.Fatalf("no coalescing happened: %d batches for %d requests", st.Batches, st.Requests)
-	}
-	if st.MaxBatch < 2 {
-		t.Fatalf("never built a multi-request batch: %+v", st)
+			st := b.Stats()
+			if st.Requests != clients*perClient || st.BatchedFlows != clients*perClient {
+				t.Fatalf("stats lost requests: %+v", st)
+			}
+			if st.Batches >= st.Requests {
+				t.Fatalf("no coalescing happened: %d batches for %d requests", st.Batches, st.Requests)
+			}
+			if st.MaxBatch < 2 {
+				t.Fatalf("never built a multi-request batch: %+v", st)
+			}
+		})
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flowgen/internal/core"
 	"flowgen/internal/flow"
 	"flowgen/internal/nn"
 	"flowgen/internal/tensor"
@@ -49,13 +50,37 @@ type Model struct {
 	Path     string // source file for reloads ("" = in-memory only)
 	LoadedAt time.Time
 
-	// clones pools parameter-sharing inference clones. nn layers retain
-	// forward state, so a network serves one forward pipeline at a time
-	// — but the serving layer scores concurrently (batcher flushes,
-	// multi-flow predicts, recommendation pools). Every serving-side
-	// forward therefore checks out an exclusive clone; pooling keeps
-	// their lazily grown GEMM scratch warm across requests.
+	// Precision selects the serving engine. The zero value (nn.F32)
+	// scores through a packed float32 snapshot of the network
+	// (nn.InferenceNet), compiled once per Model; nn.F64 serves through
+	// pooled full-precision inference clones. Set before the model is
+	// registered (a Model is immutable afterwards).
+	Precision nn.Precision
+
+	// infer is the lazily compiled f32 snapshot: weights converted and
+	// packed exactly once per registered Model, shared by every request
+	// (the snapshot is immutable and workers own their scratch).
+	inferOnce sync.Once
+	infer     *nn.InferenceNet
+	inferErr  error
+
+	// clones pools parameter-sharing f64 inference clones. nn layers
+	// retain forward state, so a network serves one forward pipeline at
+	// a time — but the serving layer scores concurrently (batcher
+	// flushes, multi-flow predicts, recommendation pools). Every f64
+	// serving-side forward therefore checks out an exclusive clone;
+	// pooling keeps their lazily grown GEMM scratch warm across
+	// requests.
 	clones sync.Pool
+}
+
+// Infer returns the model's packed float32 engine, compiling it on
+// first use (Registry.Register warms it eagerly for F32 models).
+func (m *Model) Infer() (*nn.InferenceNet, error) {
+	m.inferOnce.Do(func() {
+		m.infer, m.inferErr = nn.NewInferenceNet(m.Net, m.Arch.InH, m.Arch.InW)
+	})
+	return m.infer, m.inferErr
 }
 
 // EncodeLen returns the flattened one-hot encoding length of one flow.
@@ -73,20 +98,43 @@ func (m *Model) getClone() *nn.Network {
 	return m.Net.InferenceClone()
 }
 
-// PredictBatchCtx scores a prepared batch through a pooled inference
-// clone, so concurrent callers never share forward state.
+// PredictBatchCtx scores a prepared batch through the model's serving
+// engine: the packed f32 snapshot under the default precision (workers
+// own their scratch, so concurrent callers are naturally isolated), or
+// a pooled f64 inference clone under nn.F64. Responses are
+// deterministic and independent of how requests were batched either
+// way.
 func (m *Model) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, workers int) ([][]float64, error) {
+	if m.Precision == nn.F32 {
+		inet, err := m.Infer()
+		if err != nil {
+			return nil, err
+		}
+		return inet.PredictBatchCtx(ctx, x, workers)
+	}
 	c := m.getClone()
 	defer m.clones.Put(c)
 	return c.PredictBatchCtx(ctx, x, workers)
 }
 
-// PredictStream is the pooled-clone counterpart of
-// nn.Network.PredictStream over this model's input shape.
-func (m *Model) PredictStream(ctx context.Context, total, workers int, fill func(dst []float64, lo, hi int)) ([][]float64, error) {
+// PredictFlows streams the given flows through the model's serving
+// engine without materializing a pool-sized tensor: encodings fill
+// chunk-sized worker buffers (float32 or float64 to match the engine).
+// This is the scoring path behind multi-flow predicts and
+// recommendation pools.
+func (m *Model) PredictFlows(ctx context.Context, flows []flow.Flow, workers int) ([][]float64, error) {
+	hw := m.EncodeLen()
+	if m.Precision == nn.F32 {
+		inet, err := m.Infer()
+		if err != nil {
+			return nil, err
+		}
+		return inet.PredictStream32(ctx, len(flows), workers, core.EncodeFill32(m.Space, flows, hw))
+	}
 	c := m.getClone()
 	defer m.clones.Put(c)
-	return c.PredictStream(ctx, total, []int{1, m.Arch.InH, m.Arch.InW}, workers, fill)
+	return c.PredictStream(ctx, len(flows), []int{1, m.Arch.InH, m.Arch.InW}, workers,
+		core.EncodeFill(m.Space, flows, hw))
 }
 
 // modelSnapshot is the on-disk form of a Model. The architecture is
@@ -239,6 +287,12 @@ func (r *Registry) Register(m *Model) *Model {
 	if m.LoadedAt.IsZero() {
 		m.LoadedAt = time.Now()
 	}
+	if m.Precision == nn.F32 {
+		// Warm the packed f32 snapshot so the first request after a
+		// (re)registration does not pay the compile; a compile error is
+		// remembered and surfaced by the first prediction.
+		m.Infer()
+	}
 	next.byName[m.Name] = m
 	if next.defaultName == "" {
 		next.defaultName = m.Name
@@ -308,6 +362,7 @@ func (r *Registry) Reload(name string) (*Model, error) {
 		return nil, err
 	}
 	fresh.Name = cur.Name // the registry name wins over the stored one
+	fresh.Precision = cur.Precision
 	r.reloads.Add(1)
 	return r.Register(fresh), nil
 }

@@ -372,8 +372,7 @@ func (s *Server) handlePredict(r *http.Request) (any, error) {
 	default:
 		// Multi-flow requests are already a batch: stream them directly
 		// through the chunked prediction path.
-		probs, err := m.PredictStream(r.Context(), len(missIdx), s.cfg.Batcher.Workers,
-			core.EncodeFill(m.Space, pick(flows, missIdx), m.EncodeLen()))
+		probs, err := m.PredictFlows(r.Context(), pick(flows, missIdx), s.cfg.Batcher.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -403,8 +402,7 @@ func (s *Server) scoreAll(r *http.Request, texts []string, flows []flow.Flow, m 
 		return nil, &httpError{status: http.StatusServiceUnavailable,
 			msg: "model reloaded with a different flow space mid-request; retry"}
 	}
-	probs, err := m.PredictStream(r.Context(), len(flows), s.cfg.Batcher.Workers,
-		core.EncodeFill(m.Space, flows, m.EncodeLen()))
+	probs, err := m.PredictFlows(r.Context(), flows, s.cfg.Batcher.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -494,8 +492,7 @@ func (s *Server) handleRecommend(r *http.Request) (any, error) {
 		return nil, badRequest("submit flows or a pool size")
 	}
 
-	probs, err := m.PredictStream(r.Context(), len(pool), s.cfg.Batcher.Workers,
-		core.EncodeFill(m.Space, pool, m.EncodeLen()))
+	probs, err := m.PredictFlows(r.Context(), pool, s.cfg.Batcher.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package serve
+
+import "os"
+
+// inodeOf has no portable implementation off Unix; the watcher falls
+// back to mtime+size comparison alone.
+func inodeOf(os.FileInfo) uint64 { return 0 }

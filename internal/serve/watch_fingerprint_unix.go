@@ -1,0 +1,17 @@
+//go:build unix
+
+package serve
+
+import (
+	"os"
+	"syscall"
+)
+
+// inodeOf extracts the inode number for the watcher's file
+// fingerprint; rename-based model writes always land a fresh inode.
+func inodeOf(fi os.FileInfo) uint64 {
+	if sys, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return sys.Ino
+	}
+	return 0
+}

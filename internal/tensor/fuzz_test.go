@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzF32KernelsAgree fuzzes the float32 inference kernels against a
+// float64 reference over arbitrary shapes — m/n/k of 1, sizes that are
+// not multiples of the register tiles, and strided final blocks — and
+// requires (a) every f32 kernel to agree with the others bit-for-bit
+// (they all promise the same ascending-k per-element accumulation) and
+// (b) the f32 results to sit within the sequential-summation error
+// bound of the f64 reference. The committed seed corpus under
+// testdata/fuzz pins the historical edge cases.
+func FuzzF32KernelsAgree(f *testing.F) {
+	f.Add(1, 1, 1, int64(1), 0)    // all-unit dims
+	f.Add(4, 4, 4, int64(2), 0)    // exact tile multiples
+	f.Add(5, 7, 9, int64(3), 3)    // stragglers on every dim + strides
+	f.Add(1, 5, 8, int64(4), 1)    // single-row A, padded final panel
+	f.Add(13, 2, 1, int64(5), 2)   // k=1 with a strided final block
+	f.Add(3, 4, 129, int64(6), 0)  // long contraction
+	f.Add(63, 31, 17, int64(7), 5) // co-prime everything
+
+	f.Fuzz(func(t *testing.T, m, n, k int, seed int64, extra int) {
+		if m < 1 || n < 1 || k < 1 || m > 64 || n > 64 || k > 256 {
+			t.Skip()
+		}
+		if extra < 0 || extra > 8 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := randSlice32(rng, m*k)
+		w := randSlice32(rng, n*k)
+		// Sprinkle zeros so the sparse skip participates.
+		for i := 0; i < len(a); i += 3 {
+			a[i] = 0
+		}
+
+		want32, want64, abs := refGemm32(m, n, k,
+			func(i, l int) float32 { return a[i*k+l] },
+			func(l, j int) float32 { return w[j*k+l] })
+
+		// Packed kernel, contiguous.
+		pb := PackB32(w, n, k)
+		packed := make([]float32, m*n)
+		Gemm32Packed(m, n, k, a, k, pb, packed, n)
+
+		// Packed kernel, strided final blocks: A and C embedded in wider
+		// matrices.
+		aStride, cStride := k+extra, n+extra
+		wideA := make([]float32, m*aStride)
+		for i := 0; i < m; i++ {
+			copy(wideA[i*aStride:i*aStride+k], a[i*k:(i+1)*k])
+		}
+		strided := make([]float32, m*cStride)
+		Gemm32Packed(m, n, k, wideA, aStride, pb, strided, cStride)
+
+		// Unpacked tiled kernel.
+		tb := make([]float32, m*n)
+		GemmTB32(m, n, k, a, w, tb)
+
+		// Sparse-skip kernel over B in k×n layout.
+		bRowMajor := make([]float32, k*n)
+		for j := 0; j < n; j++ {
+			for l := 0; l < k; l++ {
+				bRowMajor[l*n+j] = w[j*k+l]
+			}
+		}
+		sparse := make([]float32, m*n)
+		Gemm32(m, n, k, a, bRowMajor, sparse)
+
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				at := i*n + j
+				ref := want32[at]
+				if packed[at] != ref {
+					t.Fatalf("%dx%dx%d [%d,%d]: Gemm32Packed %v != reference %v", m, n, k, i, j, packed[at], ref)
+				}
+				if strided[i*cStride+j] != ref {
+					t.Fatalf("%dx%dx%d [%d,%d]: strided Gemm32Packed %v != reference %v", m, n, k, i, j, strided[i*cStride+j], ref)
+				}
+				if tb[at] != ref {
+					t.Fatalf("%dx%dx%d [%d,%d]: GemmTB32 %v != reference %v", m, n, k, i, j, tb[at], ref)
+				}
+				if sparse[at] != ref {
+					t.Fatalf("%dx%dx%d [%d,%d]: Gemm32 %v != reference %v", m, n, k, i, j, sparse[at], ref)
+				}
+				if d := math.Abs(float64(ref) - want64[at]); d > f32Tol(k, abs[at]) {
+					t.Fatalf("%dx%dx%d [%d,%d]: f32 drift %g exceeds the γ_k bound %g",
+						m, n, k, i, j, d, f32Tol(k, abs[at]))
+				}
+			}
+		}
+	})
+}

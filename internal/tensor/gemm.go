@@ -54,15 +54,83 @@ func GemmTA(m, n, k int, a, b, c []float64) {
 }
 
 // GemmTB computes C += A·Bᵀ where A is m×k, B is stored n×k (so Bᵀ is
-// k×n) and C is m×n. Both operands stream row-major, which makes this
-// the fastest variant: it is the forward product of Dense layers
-// (X·Wᵀ with W stored out×in).
+// k×n) and C is m×n. Both operands stream row-major. The loops are
+// register tiled 2×4: two A rows against four B rows accumulate in
+// eight scalars per pass, so every A and B load is reused four (resp.
+// two) times instead of once. Each C element is still one ascending-k
+// sum folded in at the end — bit-identical to the untiled dot-product
+// form, so tiling changes no observable numerics. This is the forward
+// product of Dense layers (X·Wᵀ with W stored out×in) and the
+// weight-gradient product of the blocked convolution backward pass.
 func GemmTB(m, n, k int, a, b, c []float64) {
 	checkGemm(m, n, k, len(a), len(b), len(c))
-	for i := 0; i < m; i++ {
+	i := 0
+	for ; i+1 < m; i += 2 {
+		a0 := a[i*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		c0 := c[i*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		j := 0
+		for ; j+3 < n; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s00, s01, s02, s03, s10, s11, s12, s13 float64
+			for l, av := range a0 {
+				bv0, bv1, bv2, bv3 := b0[l], b1[l], b2[l], b3[l]
+				s00 += av * bv0
+				s01 += av * bv1
+				s02 += av * bv2
+				s03 += av * bv3
+				av = a1[l]
+				s10 += av * bv0
+				s11 += av * bv1
+				s12 += av * bv2
+				s13 += av * bv3
+			}
+			c0[j] += s00
+			c0[j+1] += s01
+			c0[j+2] += s02
+			c0[j+3] += s03
+			c1[j] += s10
+			c1[j+1] += s11
+			c1[j+2] += s12
+			c1[j+3] += s13
+		}
+		for ; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var s0, s1 float64
+			for l, av := range a0 {
+				s0 += av * bj[l]
+				s1 += a1[l] * bj[l]
+			}
+			c0[j] += s0
+			c1[j] += s1
+		}
+	}
+	for ; i < m; i++ {
 		ai := a[i*k : (i+1)*k]
 		ci := c[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
+		j := 0
+		for ; j+3 < n; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			for l, av := range ai {
+				s0 += av * b0[l]
+				s1 += av * b1[l]
+				s2 += av * b2[l]
+				s3 += av * b3[l]
+			}
+			ci[j] += s0
+			ci[j+1] += s1
+			ci[j+2] += s2
+			ci[j+3] += s3
+		}
+		for ; j < n; j++ {
 			bj := b[j*k : (j+1)*k]
 			sum := 0.0
 			for l, av := range ai {

@@ -156,7 +156,7 @@ func (t *Trainer) Steps(n int) (float64, error) {
 
 // Accuracy returns the fraction of dataset samples whose argmax
 // prediction matches the label, evaluated with the batched parallel
-// prediction path.
+// full-precision prediction path.
 func Accuracy(net *nn.Network, d *Dataset) float64 {
 	return AccuracyWorkers(net, d, 0)
 }
@@ -165,18 +165,35 @@ func Accuracy(net *nn.Network, d *Dataset) float64 {
 // (≤0 selects GOMAXPROCS). Samples stream into chunk-sized worker
 // buffers rather than being packed into one dataset-sized tensor.
 func AccuracyWorkers(net *nn.Network, d *Dataset, workers int) float64 {
+	return AccuracyPrec(net, d, workers, nn.F64)
+}
+
+// AccuracyPrec is AccuracyWorkers with an explicit inference precision:
+// nn.F32 snapshots the network into the packed float32 engine for the
+// evaluation (the incremental framework's per-round accuracy goes
+// through this with its configured precision), nn.F64 keeps training
+// numerics.
+func AccuracyPrec(net *nn.Network, d *Dataset, workers int, prec nn.Precision) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
 	hw := d.H * d.W
-	probs, err := net.PredictStream(context.Background(), d.Len(), []int{1, d.H, d.W}, workers,
+	probs, err := nn.PredictStreamPrec(context.Background(), net, prec, d.Len(), d.H, d.W, workers,
 		func(dst []float64, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				copy(dst[(i-lo)*hw:(i-lo+1)*hw], d.X[i])
 			}
+		},
+		func(dst []float32, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := dst[(i-lo)*hw : (i-lo+1)*hw]
+				for j, v := range d.X[i] {
+					row[j] = float32(v)
+				}
+			}
 		})
 	if err != nil {
-		panic("train: background accuracy prediction cancelled: " + err.Error())
+		panic("train: accuracy prediction failed: " + err.Error())
 	}
 	correct := 0
 	for i, p := range probs {

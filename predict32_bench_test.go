@@ -1,0 +1,224 @@
+// Float32-inference benchmarks. BenchmarkPredictPool32 classifies the
+// same 5000-flow pool as BenchmarkPredictPool through both precision
+// engines — the f64 batched GEMM path and the packed f32 fast path —
+// cross-checks their argmaxes in-bench (exact identity, modulo samples
+// whose top-2 f64 logits are numerically tied), and reports the f32
+// speedup (acceptance bar: ≥1.8×). BenchmarkServePredict32 is the
+// serve-path variant: concurrent single-flow clients coalescing through
+// serve.Batcher against an f32-precision model, each response
+// argmax-checked against the f64 engine's scoring of the same flow.
+//
+// Each run rewrites BENCH_predict32.json with the measured numbers so
+// the repo carries a machine-readable perf data point per box.
+package flowgen
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"flowgen/internal/core"
+	"flowgen/internal/flow"
+	"flowgen/internal/nn"
+	"flowgen/internal/serve"
+	"flowgen/internal/tensor"
+	"flowgen/internal/train"
+)
+
+// tieGap returns the gap between the two largest elements.
+func tieGap(xs []float64) float64 {
+	best, second := xs[0], -1.0
+	for _, v := range xs[1:] {
+		if v > best {
+			best, second = v, best
+		} else if v > second {
+			second = v
+		}
+	}
+	return best - second
+}
+
+// benchTieEps: samples whose top-2 f64 probabilities sit closer than
+// this are numerical ties — either argmax is legitimate under float32
+// rounding, and they are excluded from the identity check (and counted,
+// so a drift would still fail the run).
+const benchTieEps = 1e-4
+
+type predict32Record struct {
+	Bench        string  `json:"bench"`
+	PoolFlows    int     `json:"pool_flows"`
+	Arch         string  `json:"arch"`
+	F64FlowsPerS float64 `json:"f64_flows_per_sec"`
+	F32FlowsPerS float64 `json:"f32_flows_per_sec"`
+	Speedup      float64 `json:"speedup_f32_vs_f64"`
+	ArgmaxTies   int     `json:"argmax_ties_excluded"`
+	ServeF32PerS float64 `json:"serve_f32_flows_per_sec,omitempty"`
+	ServeSpeedup float64 `json:"serve_speedup_f32_vs_f64,omitempty"`
+}
+
+// writeBenchRecord merges one benchmark's fields into
+// BENCH_predict32.json (both benches contribute to the same record).
+func writeBenchRecord(b *testing.B, update func(*predict32Record)) {
+	const path = "BENCH_predict32.json"
+	rec := predict32Record{Bench: "predict32", PoolFlows: 5000, Arch: "FastArch"}
+	if raw, err := os.ReadFile(path); err == nil {
+		json.Unmarshal(raw, &rec)
+	}
+	update(&rec)
+	raw, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		b.Logf("could not write %s: %v", path, err)
+	}
+}
+
+// BenchmarkPredictPool32 measures f32 pool-prediction throughput
+// against the f64 engine on the same pool and architecture.
+func BenchmarkPredictPool32(b *testing.B) {
+	const poolN = 5000
+	space := flow.NewSpace(flow.DefaultAlphabet, 2)
+	h, w := core.EncodeShape(space)
+	arch := nn.FastArch(7)
+	arch.InH, arch.InW = h, w
+	net := arch.Build(1)
+	inet, err := nn.NewInferenceNet(net, h, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	flows := space.RandomUnique(newRand(3), poolN)
+	hw := h * w
+	x := tensor.New(poolN, 1, h, w)
+	for i, f := range flows {
+		f.EncodeInto(space, x.Data[i*hw:(i+1)*hw])
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		probs64 := net.PredictBatch(x, 0)
+		d64 := time.Since(t0)
+
+		t1 := time.Now()
+		probs32 := inet.PredictBatch32(x, 0)
+		d32 := time.Since(t1)
+
+		ties, mismatches := 0, 0
+		for s := 0; s < poolN; s++ {
+			if train.Argmax(probs32[s]) != train.Argmax(probs64[s]) {
+				if tieGap(probs64[s]) <= benchTieEps {
+					ties++
+				} else {
+					mismatches++
+				}
+			}
+		}
+		if mismatches > 0 {
+			b.Fatalf("f32 and f64 argmax disagree on %d/%d flows beyond the tie tolerance", mismatches, poolN)
+		}
+		if ties > poolN/100 {
+			b.Fatalf("%d/%d flows landed on numerical ties — engines drifted", ties, poolN)
+		}
+
+		f64Rate := poolN / d64.Seconds()
+		f32Rate := poolN / d32.Seconds()
+		b.ReportMetric(f32Rate, "flows/s")
+		b.ReportMetric(f32Rate/f64Rate, "x-vs-f64")
+		if i == b.N-1 {
+			writeBenchRecord(b, func(rec *predict32Record) {
+				rec.F64FlowsPerS = f64Rate
+				rec.F32FlowsPerS = f32Rate
+				rec.Speedup = f32Rate / f64Rate
+				rec.ArgmaxTies = ties
+			})
+		}
+	}
+}
+
+// BenchmarkServePredict32 is the serving-path variant: concurrent
+// single-flow clients through the micro-batcher over an f32-precision
+// model, argmax-checked against f64 scoring, compared with the same
+// traffic served by an f64-precision model.
+func BenchmarkServePredict32(b *testing.B) {
+	const clients, perClient = 32, 16
+	const total = clients * perClient
+	space := flow.PaperSpace()
+	h, w := core.EncodeShape(space)
+	arch := nn.FastArch(7)
+	arch.InH, arch.InW = h, w
+	net := arch.Build(1)
+	m32 := &serve.Model{Name: "bench32", Space: space, Arch: arch, Net: net, Precision: nn.F32}
+	m64 := &serve.Model{Name: "bench64", Space: space, Arch: arch, Net: net, Precision: nn.F64}
+
+	flows := space.RandomUnique(newRand(3), total)
+	hw := h * w
+	encs := make([][]float64, total)
+	x := tensor.New(total, 1, h, w)
+	for i, f := range flows {
+		f.EncodeInto(space, x.Data[i*hw:(i+1)*hw])
+		encs[i] = x.Data[i*hw : (i+1)*hw]
+	}
+	want64, err := m64.PredictBatchCtx(context.Background(), x, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	runClients := func(batcher *serve.Batcher, check bool) {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					idx := c*perClient + i
+					pred, err := batcher.Submit(context.Background(), encs[idx])
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if check && pred.Class != train.Argmax(want64[idx]) && tieGap(want64[idx]) > benchTieEps {
+						b.Errorf("flow %d: f32 served class %d, f64 scoring says %d",
+							idx, pred.Class, train.Argmax(want64[idx]))
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	cfg := serve.BatcherConfig{MaxBatch: 64, MaxWait: 200 * time.Microsecond, QueueCap: total}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b32 := serve.NewBatcher(func() (*serve.Model, error) { return m32, nil }, cfg)
+		t0 := time.Now()
+		runClients(b32, true)
+		d32 := time.Since(t0)
+		b32.Close()
+
+		b64 := serve.NewBatcher(func() (*serve.Model, error) { return m64, nil }, cfg)
+		t1 := time.Now()
+		runClients(b64, false)
+		d64 := time.Since(t1)
+		b64.Close()
+
+		f32Rate := total / d32.Seconds()
+		b.ReportMetric(f32Rate, "flows/s")
+		b.ReportMetric(d64.Seconds()/d32.Seconds(), "x-vs-f64-serving")
+		if i == b.N-1 {
+			writeBenchRecord(b, func(rec *predict32Record) {
+				rec.ServeF32PerS = f32Rate
+				rec.ServeSpeedup = d64.Seconds() / d32.Seconds()
+			})
+		}
+	}
+	if b.Failed() {
+		b.Fatal("serve-path argmax cross-check failed")
+	}
+}

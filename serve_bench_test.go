@@ -42,7 +42,11 @@ func BenchmarkServePredict(b *testing.B) {
 	h, w := core.EncodeShape(space)
 	arch := nn.FastArch(7)
 	arch.InH, arch.InW = h, w
-	model := &serve.Model{Name: "bench", Space: space, Arch: arch, Net: arch.Build(1)}
+	// Pinned to the f64 engine: this benchmark's claim is bit-identity
+	// against direct f64 PredictBatch scoring plus the speedup over the
+	// pre-refactor naive replica. The f32 serving fast path has its own
+	// benchmark (BenchmarkServePredict32 in predict32_bench_test.go).
+	model := &serve.Model{Name: "bench", Space: space, Arch: arch, Net: arch.Build(1), Precision: nn.F64}
 
 	flows := space.RandomUnique(newRand(3), total)
 	hw := h * w
