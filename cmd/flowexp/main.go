@@ -36,7 +36,7 @@ func main() {
 		seed       = flag.Int64("seed", 11, "random seed")
 		memo       = flag.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
 		predW      = flag.Int("predworkers", 0, "pool-prediction workers (0 = GOMAXPROCS)")
-		precision  = flag.String("precision", "f32", "pool-prediction engine: f32 (packed fast path) or f64 (training numerics)")
+		precision  = flag.String("precision", "f32", "pool-prediction engine: f32 (packed fast path), int8 (quantized, fastest) or f64 (training numerics)")
 	)
 	flag.Parse()
 

@@ -41,7 +41,7 @@ func main() {
 		steps      = flag.Int("steps", 400, "CNN steps per retraining round")
 		seed       = flag.Int64("seed", 1, "random seed")
 		optimizer  = flag.String("optimizer", "RMSProp", "SGD|Momentum|AdaGrad|RMSProp|Ftrl")
-		precision  = flag.String("precision", "f32", "pool-prediction engine: f32 (packed fast path) or f64 (training numerics)")
+		precision  = flag.String("precision", "f32", "pool-prediction engine: f32 (packed fast path), int8 (quantized, fastest) or f64 (training numerics)")
 		memo       = flag.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
 		paper      = flag.Bool("paper", false, "use the paper's full-scale parameters")
 		verify     = flag.Bool("verify", false, "synthesize the generated flows and report accuracy")

@@ -60,11 +60,14 @@ type (
 	// ArchConfig describes the CNN classifier architecture (Figure 3).
 	ArchConfig = nn.ArchConfig
 	// Precision selects the inference engine (F32 packed fast path, the
-	// default, or F64 training numerics).
+	// default, Int8 quantized snapshot, or F64 training numerics).
 	Precision = nn.Precision
 	// InferenceNet is the packed float32 forward-only snapshot of a
 	// trained network — the serving/pool-prediction fast path.
 	InferenceNet = nn.InferenceNet
+	// QuantNet is the int8 quantized forward-only snapshot — the fastest
+	// inference tier, compiled once per model version.
+	QuantNet = nn.QuantNet
 	// ServeModel is one immutable servable classifier snapshot.
 	ServeModel = serve.Model
 	// ServeRegistry holds named servable models with hot-reload.
@@ -89,17 +92,25 @@ const (
 )
 
 // Precision values: F32 is the packed float32 inference fast path (the
-// default for pool prediction and serving), F64 the full-precision
-// training-numerics engine.
+// default for pool prediction and serving), Int8 the quantized
+// bit-packed engine (fastest; tolerance-level agreement with f64, see
+// DESIGN.md §3.6), F64 the full-precision training-numerics engine.
 const (
-	F32 = nn.F32
-	F64 = nn.F64
+	F32  = nn.F32
+	F64  = nn.F64
+	Int8 = nn.Int8
 )
 
 // NewInferenceNet compiles a trained network into the packed float32
 // inference engine for the given input image shape.
 func NewInferenceNet(net *nn.Network, inH, inW int) (*InferenceNet, error) {
 	return nn.NewInferenceNet(net, inH, inW)
+}
+
+// NewQuantNet compiles a trained network into the int8 quantized
+// inference engine for the given input image shape.
+func NewQuantNet(net *nn.Network, inH, inW int) (*QuantNet, error) {
+	return nn.NewQuantNet(net, inH, inW)
 }
 
 // NewServeWatcher baselines the registry's file-backed models for

@@ -323,6 +323,18 @@ func EncodeFill32(space flow.Space, pool []flow.Flow, hw int) func(dst []float32
 	}
 }
 
+// EncodeFillBits is EncodeFill for the int8 engine's
+// nn.QuantNet.PredictStreamBits: flows encode bit-packed
+// (flow.EncodeBits), space.EncodeBitWords() words per sample.
+func EncodeFillBits(space flow.Space, pool []flow.Flow) func(dst []uint64, lo, hi int) {
+	words := space.EncodeBitWords()
+	return func(dst []uint64, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pool[i].EncodeBits(space, dst[(i-lo)*words:(i-lo+1)*words])
+		}
+	}
+}
+
 // ScoreFlows pairs pool flows with their predicted distributions.
 func ScoreFlows(pool []flow.Flow, probs [][]float64) []ScoredFlow {
 	out := make([]ScoredFlow, len(pool))
@@ -340,8 +352,9 @@ func ScoreFlows(pool []flow.Flow, probs [][]float64) []ScoredFlow {
 // memory is flat in the pool size. Under the default cfg.Precision the
 // network is snapshotted once into the packed float32 engine
 // (nn.InferenceNet) and the pool streams through PredictStream32;
-// nn.F64 keeps the full-precision path. Either way results are
-// deterministic regardless of sharding.
+// nn.Int8 quantizes the snapshot (nn.QuantNet) and streams bit-packed
+// encodings; nn.F64 keeps the full-precision path. Either way results
+// are deterministic regardless of sharding.
 func (fw *Framework) PredictPool(net *nn.Network, pool []flow.Flow) []ScoredFlow {
 	cfg := fw.Cfg
 	if len(pool) == 0 {
@@ -350,7 +363,8 @@ func (fw *Framework) PredictPool(net *nn.Network, pool []flow.Flow) []ScoredFlow
 	hw := cfg.EncodeH * cfg.EncodeW
 	probs, err := nn.PredictStreamPrec(context.Background(), net, cfg.Precision,
 		len(pool), cfg.EncodeH, cfg.EncodeW, 0,
-		EncodeFill(cfg.Space, pool, hw), EncodeFill32(cfg.Space, pool, hw))
+		EncodeFill(cfg.Space, pool, hw), EncodeFill32(cfg.Space, pool, hw),
+		EncodeFillBits(cfg.Space, pool))
 	if err != nil {
 		panic("core: pool prediction failed: " + err.Error())
 	}

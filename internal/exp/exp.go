@@ -256,7 +256,8 @@ func GeneratedAccuracy(b *Bundle, net *nn.Network, model *label.Model, rc RunCon
 
 func predictPool(b *Bundle, net *nn.Network, h, w, workers int, prec nn.Precision) []core.ScoredFlow {
 	probs, err := nn.PredictStreamPrec(context.Background(), net, prec, len(b.Pool), h, w, workers,
-		core.EncodeFill(b.Space, b.Pool, h*w), core.EncodeFill32(b.Space, b.Pool, h*w))
+		core.EncodeFill(b.Space, b.Pool, h*w), core.EncodeFill32(b.Space, b.Pool, h*w),
+		core.EncodeFillBits(b.Space, b.Pool))
 	if err != nil {
 		panic("exp: pool prediction failed: " + err.Error())
 	}

@@ -1,0 +1,744 @@
+package nn
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowgen/internal/tensor"
+)
+
+// QuantNet is the int8 quantized inference tier beneath InferenceNet:
+// an immutable forward-only snapshot compiled once per model version,
+// specialized to the paper's workload — one-hot flow encodings feeding
+// a small convolutional classifier. Two ideas carry the speedup (see
+// DESIGN.md §3.6):
+//
+//   - The input is consumed BIT-PACKED (flow.EncodeBits): the first
+//     convolution's operand is exactly 0/1, so it quantizes losslessly
+//     into uint64 words and the sparse scatter iterates set bits with
+//     TrailingZeros64 instead of scanning float rows — and adds weight
+//     rows without multiplying (×1.0 is exact).
+//   - Every later GEMM (interior conv, locally connected, dense) runs
+//     the SWAR int8 kernels of internal/tensor: weights quantized per
+//     output channel at compile time (tensor.PackB8), activations per
+//     SAMPLE at run time, exact int32 accumulation, dequant-fused
+//     bias/activation epilogues. One 64-bit multiply contracts four
+//     weight/activation pairs.
+//
+// Pooling and pointwise activations stay float32 between layers: they
+// are a small fraction of the flop budget, and re-quantizing after each
+// would compound error for no speed.
+//
+// Determinism matches the other tiers: activation scales depend only on
+// the sample, integer accumulation is exact in a fixed order, so
+// prediction is bit-reproducible for any worker count or batch
+// composition. Logits carry quantization error relative to f32/f64 —
+// the differential gates in internal/core bound the argmax drift.
+type QuantNet struct {
+	inH, inW int
+	inWords  int // per-sample packed input words = ⌈InH·InW/64⌉
+	classes  int
+	first    *bitConv8
+	layers   []quant8Layer
+
+	// Worker-scratch sizing, fixed at compile time.
+	qimgLen, patchLen int // quantized feature maps / gathered patch rows, bytes
+	wordsLen          int // packed activation words
+	mMax              int // per-row sums/scales capacity
+
+	compileTime time.Duration
+}
+
+// quant8Layer is one compiled stage after the leading bit conv. forward
+// consumes the n-sample NHWC float32 input and returns the output in
+// s.s32.bufs[li] (or in place).
+type quant8Layer interface {
+	forward(x []float32, n int, s *Scratch8, li int) []float32
+	outSize() int
+}
+
+// actFuser is implemented by GEMM stages that can fold a following
+// pointwise activation into their dequantizing epilogue.
+type actFuser interface{ fuse(a Activation) bool }
+
+// monotoneAct reports whether the activation is monotone non-decreasing
+// — the property that lets the quantized compiler commute it with max
+// pooling. Every activation the engine supports today qualifies; a
+// future non-monotone addition (e.g. a swish variant) must return false
+// here and keep its written order.
+func monotoneAct(a Activation) bool {
+	switch a {
+	case ReLU, ReLU6, ELU, SELU, Softplus, Softsign, Sigmoid, Tanh:
+		return true
+	}
+	return false
+}
+
+// Scratch8 holds one prediction worker's buffers. The float32 layer
+// outputs live in the embedded Scratch32 (index 0 is the bit conv's
+// output, i+1 layer i's), so the reused f32 stages (max pooling,
+// standalone activations) run unchanged. Not safe for concurrent use.
+type Scratch8 struct {
+	s32    Scratch32
+	in     []uint64  // chunk input: predictChunk × inWords bit-packed samples
+	qimg   []byte    // per-sample (or per-chunk) quantized feature maps
+	patch  []byte    // gathered patch rows in the biased-code domain
+	words  []uint64  // packed activation rows
+	sums   []int32   // per-row byte sums (zero-point correction)
+	scales []float32 // per-row dequantization scales
+
+	imgWords []uint64 // word-packed feature map (channel-aligned convs)
+	pre      []int32  // feature-map byte prefix sums (channel-aligned convs)
+}
+
+// NewScratch allocates a worker scratch for up to predictChunk samples.
+func (t *QuantNet) NewScratch() *Scratch8 {
+	s := &Scratch8{
+		in:     make([]uint64, predictChunk*t.inWords),
+		qimg:   make([]byte, t.qimgLen),
+		patch:  make([]byte, t.patchLen),
+		words:  make([]uint64, t.wordsLen),
+		sums:   make([]int32, t.mMax),
+		scales: make([]float32, t.mMax),
+
+		imgWords: make([]uint64, t.qimgLen/4+1),
+		pre:      make([]int32, t.qimgLen+1),
+	}
+	s.s32.bufs = make([][]float32, 1+len(t.layers))
+	s.s32.bufs[0] = make([]float32, predictChunk*t.first.outSize())
+	for i, l := range t.layers {
+		s.s32.bufs[i+1] = make([]float32, predictChunk*l.outSize())
+	}
+	return s
+}
+
+// NumClasses returns the logit width.
+func (t *QuantNet) NumClasses() int { return t.classes }
+
+// InputShape returns the expected per-sample input image size.
+func (t *QuantNet) InputShape() (h, w int) { return t.inH, t.inW }
+
+// InWords returns the per-sample packed input length in uint64 words —
+// what each fillBits callback must write per sample.
+func (t *QuantNet) InWords() int { return t.inWords }
+
+// CompileTime reports how long the quantized snapshot took to compile
+// (weight quantization + packing), surfaced by the serving stats.
+func (t *QuantNet) CompileTime() time.Duration { return t.compileTime }
+
+// Forward8 runs the compiled stack over n bit-packed samples (n×InWords
+// words, from flow.EncodeBits) and returns the n×classes float32
+// logits, valid until the scratch's next use.
+func (t *QuantNet) Forward8(bv []uint64, n int, s *Scratch8) []float32 {
+	if n < 1 || n > predictChunk {
+		panic(fmt.Sprintf("nn: inference chunk of %d samples (max %d)", n, predictChunk))
+	}
+	if len(bv) < n*t.inWords {
+		panic(fmt.Sprintf("nn: int8 inference input has %d words, want %d", len(bv), n*t.inWords))
+	}
+	x := t.first.forward8(bv, n, s)
+	for li, l := range t.layers {
+		x = l.forward(x, n, s, li+1)
+	}
+	return x[:n*t.classes]
+}
+
+// ------------------------------------------------------------- compile
+
+// NewQuantNet compiles a trained network into the int8 quantized
+// engine. Weights are quantized and packed once — later training steps
+// do not affect the snapshot. The engine is specialized to binary
+// inputs: the stack must open with a single-channel convolution (the
+// one-hot flow encoding), which is what lets the input skip
+// quantization entirely.
+func NewQuantNet(n *Network, inH, inW int) (*QuantNet, error) {
+	if inH < 1 || inW < 1 {
+		return nil, fmt.Errorf("nn: quantized input %dx%d", inH, inW)
+	}
+	start := time.Now()
+	t := &QuantNet{inH: inH, inW: inW, inWords: (inH*inW + 63) / 64}
+	h, w, c := inH, inW, 1
+	spatial := true
+	features := 0
+	permPending := false
+	var ph, pw, pc int
+
+	need := func(qimg, patch, words, m int) {
+		if qimg > t.qimgLen {
+			t.qimgLen = qimg
+		}
+		if patch > t.patchLen {
+			t.patchLen = patch
+		}
+		if words > t.wordsLen {
+			t.wordsLen = words
+		}
+		if m > t.mMax {
+			t.mMax = m
+		}
+	}
+
+	// Compile-time graph rewrite: swap [activation, max-pool] pairs into
+	// [max-pool, activation]. Every supported activation is monotone
+	// non-decreasing, so max-pooling commutes with it — and pooling first
+	// shrinks the pointwise pass by the pooling factor (4× at stride 2),
+	// which is a double-digit share of per-sample cost on these small
+	// nets. The f64/f32 tiers keep the written order; the int8 tier only
+	// promises tolerance-level agreement, which an order swap of exact
+	// max and a monotone pointwise map preserves.
+	stack := append([]Layer(nil), n.Layers...)
+	for i := 0; i+1 < len(stack); i++ {
+		if a, ok := stack[i].(*ActLayer); ok && monotoneAct(a.Act) {
+			if _, isPool := stack[i+1].(*MaxPool2D); isPool {
+				stack[i], stack[i+1] = stack[i+1], stack[i]
+			}
+		}
+	}
+
+	for _, layer := range stack {
+		switch l := layer.(type) {
+		case *Conv2D:
+			if !spatial {
+				return nil, fmt.Errorf("nn: %s after flatten", l.Name())
+			}
+			if l.InC != c {
+				return nil, fmt.Errorf("nn: %s expects %d channels, stack carries %d", l.Name(), l.InC, c)
+			}
+			if t.first == nil {
+				if l.InC != 1 {
+					return nil, fmt.Errorf("nn: int8 engine needs a one-hot (single-channel) first conv, got %d channels", l.InC)
+				}
+				t.first = &bitConv8{c: newConv32(l, h, w), inWords: t.inWords}
+			} else {
+				k := l.InC * l.KH * l.KW
+				if k > tensor.MaxQuantK() {
+					return nil, fmt.Errorf("nn: %s contraction depth %d exceeds the int8 accumulator bound", l.Name(), k)
+				}
+				qc := newQConv8(l, h, w)
+				t.layers = append(t.layers, qc)
+				kw4 := (k + 3) / 4
+				need(h*w*l.InC, h*w*k, h*w*kw4, h*w)
+			}
+			c = l.OutC
+		case *MaxPool2D:
+			if !spatial {
+				return nil, fmt.Errorf("nn: %s after flatten", l.Name())
+			}
+			if t.first == nil {
+				return nil, fmt.Errorf("nn: int8 engine needs a convolution before %s", l.Name())
+			}
+			oh := (h-l.KH)/l.Stride + 1
+			ow := (w-l.KW)/l.Stride + 1
+			if oh < 1 || ow < 1 {
+				return nil, fmt.Errorf("nn: %s over %dx%d input", l.Name(), h, w)
+			}
+			t.layers = append(t.layers, poolQ{&pool32{kh: l.KH, kw: l.KW, stride: l.Stride,
+				h: h, w: w, c: c, oh: oh, ow: ow}})
+			h, w = oh, ow
+		case *LocallyConnected2D:
+			if !spatial {
+				return nil, fmt.Errorf("nn: %s after flatten", l.Name())
+			}
+			if l.InC != c || l.OH != h-l.KH+1 || l.OW != w-l.KW+1 {
+				return nil, fmt.Errorf("nn: %s shape mismatch at %dx%dx%d", l.Name(), h, w, c)
+			}
+			k := l.InC * l.KH * l.KW
+			if k > tensor.MaxQuantK() {
+				return nil, fmt.Errorf("nn: %s contraction depth %d exceeds the int8 accumulator bound", l.Name(), k)
+			}
+			t.layers = append(t.layers, newQLocal8(l, h, w))
+			kw4 := (k + 3) / 4
+			need(predictChunk*h*w*l.InC, predictChunk*k, predictChunk*kw4, predictChunk)
+			h, w, c = l.OH, l.OW, l.OutC
+		case *Flatten:
+			if spatial {
+				spatial = false
+				features = h * w * c
+				permPending = true
+				ph, pw, pc = h, w, c
+			}
+		case *Dense:
+			in := features
+			if spatial {
+				in = h * w * c
+				ph, pw, pc = h, w, c
+				permPending = true
+				spatial = false
+			}
+			if l.In != in {
+				return nil, fmt.Errorf("nn: %s expects %d inputs, stack carries %d", l.Name(), l.In, in)
+			}
+			if t.first == nil {
+				return nil, fmt.Errorf("nn: int8 engine needs a convolution before %s", l.Name())
+			}
+			if in > tensor.MaxQuantK() {
+				return nil, fmt.Errorf("nn: %s contraction depth %d exceeds the int8 accumulator bound", l.Name(), in)
+			}
+			t.layers = append(t.layers, newQDense8(l, permPending, ph, pw, pc))
+			kw4 := (in + 3) / 4
+			need(0, in, predictChunk*kw4, predictChunk)
+			permPending = false
+			features = l.Out
+		case *ActLayer:
+			size := features
+			if spatial {
+				size = h * w * c
+			}
+			// Fold the activation into the preceding stage's epilogue
+			// when there is one; otherwise run it standalone.
+			var prev actFuser
+			if len(t.layers) > 0 {
+				prev, _ = t.layers[len(t.layers)-1].(actFuser)
+			} else if t.first != nil {
+				prev = t.first
+			}
+			if prev == nil || !prev.fuse(l.Act) {
+				t.layers = append(t.layers, actQ{act: l.Act, size: size})
+			}
+		case *Dropout:
+			// Identity at inference.
+		default:
+			return nil, fmt.Errorf("nn: layer %s has no int8 inference lowering", layer.Name())
+		}
+	}
+	if t.first == nil {
+		return nil, fmt.Errorf("nn: int8 engine needs a leading convolution")
+	}
+	if len(t.layers) > 0 {
+		t.classes = t.layers[len(t.layers)-1].outSize()
+	} else {
+		t.classes = t.first.outSize()
+	}
+	t.compileTime = time.Since(start)
+	return t, nil
+}
+
+// --------------------------------------------------------------- layers
+
+// bitConv8 is the leading one-hot convolution over bit-packed input:
+// the f32 sparse scatter (conv32.forwardSparse) driven by set-bit
+// iteration. Adding the weight row without a multiply is exactly the
+// f32 path's v·w with v = 1.0, and bits are visited in ascending
+// position order, so the output is bit-identical to the f32 engine's
+// first layer.
+type bitConv8 struct {
+	c       *conv32
+	inWords int
+	hasAct  bool
+	act     Activation
+}
+
+func (l *bitConv8) outSize() int { return l.c.hw * l.c.outC }
+
+func (l *bitConv8) fuse(a Activation) bool {
+	if l.hasAct {
+		return false
+	}
+	l.hasAct, l.act = true, a
+	return true
+}
+
+func (l *bitConv8) forward8(bv []uint64, n int, s *Scratch8) []float32 {
+	c := l.c
+	out := s.s32.bufs[0]
+	w, outC := c.w, c.outC
+	for smp := 0; smp < n; smp++ {
+		o := out[smp*c.hw*outC : (smp+1)*c.hw*outC]
+		// Broadcast the bias with a doubling copy: O(log hw) memmoves
+		// instead of hw short ones.
+		copy(o, c.bias)
+		for filled := outC; filled < len(o); filled *= 2 {
+			copy(o[filled:], o[:filled])
+		}
+		words := bv[smp*l.inWords : (smp+1)*l.inWords]
+		for wi, word := range words {
+			for word != 0 {
+				p := wi*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if p >= c.hw {
+					break // padding bits beyond the image
+				}
+				iy, ix := p/w, p%w
+				for ky := 0; ky < c.kh; ky++ {
+					y := iy - ky + c.padY
+					if y < 0 || y >= c.h {
+						continue
+					}
+					for kx := 0; kx < c.kw; kx++ {
+						xx := ix - kx + c.padX
+						if xx < 0 || xx >= w {
+							continue
+						}
+						wrow := c.wRows[(ky*c.kw+kx)*outC : (ky*c.kw+kx+1)*outC]
+						orow := o[(y*w+xx)*outC : (y*w+xx+1)*outC]
+						for i, wv := range wrow {
+							orow[i] += wv
+						}
+					}
+				}
+			}
+		}
+	}
+	if l.hasAct {
+		apply32(l.act, out[:n*c.hw*outC])
+	}
+	return out[:n*c.hw*outC]
+}
+
+// qconv8 is an interior stride-1 same-padding convolution: per sample,
+// quantize the feature map once (per-sample scale), lower patches in
+// the byte domain (Im2RowU8), pack, and run one SWAR GEMM with the
+// bias/activation epilogue fused into the dequantization.
+type qconv8 struct {
+	inC, outC, kh, kw int
+	h, w              int
+	padY, padX        int
+	k, hw             int
+	packed            *tensor.PackedB8
+	bias              []float32
+	hasAct            bool
+	act               Activation
+}
+
+func newQConv8(l *Conv2D, h, w int) *qconv8 {
+	k := l.InC * l.KH * l.KW
+	q := &qconv8{
+		inC: l.InC, outC: l.OutC, kh: l.KH, kw: l.KW, h: h, w: w,
+		padY: (l.KH - 1) / 2, padX: (l.KW - 1) / 2,
+		k: k, hw: h * w,
+		bias: make([]float32, l.OutC),
+	}
+	for i, b := range l.B.Data {
+		q.bias[i] = float32(b)
+	}
+	// Same NHWC patch-order reorder as the f32 engine, then quantize.
+	wr := make([]float32, l.OutC*k)
+	for oc := 0; oc < l.OutC; oc++ {
+		for ic := 0; ic < l.InC; ic++ {
+			for ky := 0; ky < l.KH; ky++ {
+				for kx := 0; kx < l.KW; kx++ {
+					src := ((oc*l.InC+ic)*l.KH+ky)*l.KW + kx
+					wr[oc*k+(ky*l.KW+kx)*l.InC+ic] = float32(l.W.Data[src])
+				}
+			}
+		}
+	}
+	q.packed = tensor.PackB8(wr, l.OutC, k)
+	return q
+}
+
+func (l *qconv8) outSize() int { return l.hw * l.outC }
+
+func (l *qconv8) fuse(a Activation) bool {
+	if l.hasAct {
+		return false
+	}
+	l.hasAct, l.act = true, a
+	return true
+}
+
+func (l *qconv8) forward(x []float32, n int, s *Scratch8, li int) []float32 {
+	out := s.s32.bufs[li]
+	inHWC := l.hw * l.inC
+	outHWC := l.hw * l.outC
+	kw4 := (l.k + 3) / 4
+	for smp := 0; smp < n; smp++ {
+		var scale float32
+		if l.inC%4 == 0 {
+			// Channel-aligned fast path: quantize straight into packed
+			// words and gather word runs per patch — one pass over the
+			// image instead of kh·kw, and no byte image at all.
+			scale = tensor.QuantizePackU8(x[smp*inHWC:(smp+1)*inHWC], s.imgWords, s.pre)
+			tensor.Im2RowGatherU8(s.imgWords, s.pre, l.h, l.w, l.inC, l.kh, l.kw,
+				l.padY, l.padX, l.h, l.w, s.words, s.sums)
+		} else {
+			scale = tensor.QuantizeU8(x[smp*inHWC:(smp+1)*inHWC], s.qimg[:inHWC])
+			tensor.Im2RowU8(s.qimg, l.h, l.w, l.inC, l.kh, l.kw, l.padY, l.padX, l.h, l.w, s.patch)
+			for r := 0; r < l.hw; r++ {
+				s.sums[r] = tensor.PackRowU8(s.patch[r*l.k:(r+1)*l.k], s.words[r*kw4:(r+1)*kw4])
+			}
+		}
+		for r := 0; r < l.hw; r++ {
+			s.scales[r] = scale
+		}
+		tensor.Gemm8Packed(l.hw, l.outC, s.words, kw4, s.sums, s.scales,
+			l.packed, out[smp*outHWC:], l.outC, l.bias)
+	}
+	if l.hasAct {
+		apply32(l.act, out[:n*outHWC])
+	}
+	return out[:n*outHWC]
+}
+
+// qlocal8 is the locally connected layer: quantize every sample's
+// feature map once, then per output position gather the chunk's patch
+// rows in the byte domain and run that position's SWAR GEMM with its
+// untied weights and bias.
+type qlocal8 struct {
+	inC, outC, kh, kw int
+	h, w, oh, ow      int
+	k                 int
+	packed            []*tensor.PackedB8
+	bias              []float32 // position-major (pos, oc)
+	hasAct            bool
+	act               Activation
+}
+
+func newQLocal8(l *LocallyConnected2D, h, w int) *qlocal8 {
+	k := l.InC * l.KH * l.KW
+	pos := l.OH * l.OW
+	q := &qlocal8{
+		inC: l.InC, outC: l.OutC, kh: l.KH, kw: l.KW,
+		h: h, w: w, oh: l.OH, ow: l.OW, k: k,
+		packed: make([]*tensor.PackedB8, pos),
+		bias:   make([]float32, pos*l.OutC),
+	}
+	for i, b := range l.B.Data {
+		q.bias[i] = float32(b)
+	}
+	wr := make([]float32, l.OutC*k)
+	for p := 0; p < pos; p++ {
+		base := p * l.OutC * k
+		for oc := 0; oc < l.OutC; oc++ {
+			for ic := 0; ic < l.InC; ic++ {
+				for ky := 0; ky < l.KH; ky++ {
+					for kx := 0; kx < l.KW; kx++ {
+						src := base + oc*k + (ic*l.KH+ky)*l.KW + kx
+						wr[oc*k+(ky*l.KW+kx)*l.InC+ic] = float32(l.W.Data[src])
+					}
+				}
+			}
+		}
+		q.packed[p] = tensor.PackB8(wr, l.OutC, k)
+	}
+	return q
+}
+
+func (l *qlocal8) outSize() int { return l.oh * l.ow * l.outC }
+
+func (l *qlocal8) fuse(a Activation) bool {
+	if l.hasAct {
+		return false
+	}
+	l.hasAct, l.act = true, a
+	return true
+}
+
+func (l *qlocal8) forward(x []float32, n int, s *Scratch8, li int) []float32 {
+	out := s.s32.bufs[li]
+	inHWC := l.h * l.w * l.inC
+	outHWC := l.oh * l.ow * l.outC
+	for smp := 0; smp < n; smp++ {
+		s.scales[smp] = tensor.QuantizeU8(x[smp*inHWC:(smp+1)*inHWC], s.qimg[smp*inHWC:(smp+1)*inHWC])
+	}
+	kwc := l.kw * l.inC
+	kw4 := (l.k + 3) / 4
+	for y := 0; y < l.oh; y++ {
+		for xx := 0; xx < l.ow; xx++ {
+			pos := y*l.ow + xx
+			for smp := 0; smp < n; smp++ {
+				src := s.qimg[smp*inHWC:]
+				dst := s.patch[smp*l.k:]
+				for ky := 0; ky < l.kh; ky++ {
+					copy(dst[ky*kwc:(ky+1)*kwc], src[((y+ky)*l.w+xx)*l.inC:((y+ky)*l.w+xx)*l.inC+kwc])
+				}
+				s.sums[smp] = tensor.PackRowU8(s.patch[smp*l.k:smp*l.k+l.k], s.words[smp*kw4:(smp+1)*kw4])
+			}
+			tensor.Gemm8Packed(n, l.outC, s.words, kw4, s.sums, s.scales,
+				l.packed[pos], out[pos*l.outC:], outHWC, l.bias[pos*l.outC:(pos+1)*l.outC])
+		}
+	}
+	if l.hasAct {
+		apply32(l.act, out[:n*outHWC])
+	}
+	return out[:n*outHWC]
+}
+
+// qdense8 is a fully connected layer: per-sample row quantization, one
+// SWAR GEMM over the whole chunk. Columns are permuted NCHW→NHWC at
+// compile time when the layer follows a flatten, like dense32.
+type qdense8 struct {
+	in, out int
+	packed  *tensor.PackedB8
+	bias    []float32
+	hasAct  bool
+	act     Activation
+}
+
+func newQDense8(l *Dense, perm bool, h, w, c int) *qdense8 {
+	d := &qdense8{in: l.In, out: l.Out, bias: make([]float32, l.Out)}
+	for i, b := range l.B.Data {
+		d.bias[i] = float32(b)
+	}
+	wr := make([]float32, l.Out*l.In)
+	if perm && h*w*c == l.In {
+		for o := 0; o < l.Out; o++ {
+			for ic := 0; ic < c; ic++ {
+				for y := 0; y < h; y++ {
+					for x := 0; x < w; x++ {
+						wr[o*l.In+(y*w+x)*c+ic] = float32(l.W.Data[o*l.In+(ic*h+y)*w+x])
+					}
+				}
+			}
+		}
+	} else {
+		for i, v := range l.W.Data {
+			wr[i] = float32(v)
+		}
+	}
+	d.packed = tensor.PackB8(wr, l.Out, l.In)
+	return d
+}
+
+func (l *qdense8) outSize() int { return l.out }
+
+func (l *qdense8) fuse(a Activation) bool {
+	if l.hasAct {
+		return false
+	}
+	l.hasAct, l.act = true, a
+	return true
+}
+
+func (l *qdense8) forward(x []float32, n int, s *Scratch8, li int) []float32 {
+	out := s.s32.bufs[li]
+	kw4 := (l.in + 3) / 4
+	for smp := 0; smp < n; smp++ {
+		s.scales[smp] = tensor.QuantizeU8(x[smp*l.in:(smp+1)*l.in], s.patch[:l.in])
+		s.sums[smp] = tensor.PackRowU8(s.patch[:l.in], s.words[smp*kw4:(smp+1)*kw4])
+	}
+	tensor.Gemm8Packed(n, l.out, s.words, kw4, s.sums, s.scales, l.packed, out, l.out, l.bias)
+	if l.hasAct {
+		apply32(l.act, out[:n*l.out])
+	}
+	return out[:n*l.out]
+}
+
+// poolQ reuses the f32 max-pooling stage unchanged (pooling commutes
+// with dequantization, and the values are float32 here anyway).
+type poolQ struct{ p *pool32 }
+
+func (l poolQ) outSize() int { return l.p.outSize() }
+func (l poolQ) forward(x []float32, n int, s *Scratch8, li int) []float32 {
+	return l.p.forward(x, n, &s.s32, li)
+}
+
+// actQ is a standalone pointwise activation (only reached when the
+// preceding stage could not fuse it).
+type actQ struct {
+	act  Activation
+	size int
+}
+
+func (l actQ) outSize() int { return l.size }
+func (l actQ) forward(x []float32, n int, s *Scratch8, li int) []float32 {
+	apply32(l.act, x[:n*l.size])
+	return x
+}
+
+// ----------------------------------------------------------- prediction
+
+// PredictBatch8 returns class probabilities for every sample of a
+// batched float64 N×1×H×W tensor — the int8 counterpart of
+// Network.PredictBatch. The engine consumes binary inputs: any nonzero
+// element sets the bit (one-hot encodings are exactly 0/1, so this is
+// lossless for the intended workload).
+func (t *QuantNet) PredictBatch8(x *tensor.Tensor, workers int) [][]float64 {
+	out, err := t.PredictBatchCtx(context.Background(), x, workers)
+	if err != nil {
+		panic("nn: background context cancelled: " + err.Error())
+	}
+	return out
+}
+
+// PredictBatchCtx is PredictBatch8 with cancellation.
+func (t *QuantNet) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, workers int) ([][]float64, error) {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: int8 prediction expects a batched N×C×H×W tensor, got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	inSize := t.inH * t.inW
+	if c != 1 || h*w != inSize {
+		panic(fmt.Sprintf("nn: int8 prediction input %v does not match compiled shape 1×%d×%d", x.Shape, t.inH, t.inW))
+	}
+	return t.predictShards8(ctx, n, workers, func(dst []uint64, lo, hi int) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		for s := lo; s < hi; s++ {
+			base := (s - lo) * t.inWords
+			for p, v := range x.Data[s*inSize : (s+1)*inSize] {
+				if v != 0 {
+					dst[base+p>>6] |= 1 << (uint(p) & 63)
+				}
+			}
+		}
+	})
+}
+
+// PredictStreamBits classifies total samples without materializing the
+// input: fill(dst, lo, hi) writes the bit-packed encodings of samples
+// [lo, hi) — InWords() words per sample — straight into the worker's
+// chunk buffer (flow.EncodeBits produces exactly this layout). Chunk
+// boundaries and sharding match the other engines, so results are
+// deterministic for any worker count.
+func (t *QuantNet) PredictStreamBits(ctx context.Context, total, workers int, fill func(dst []uint64, lo, hi int)) ([][]float64, error) {
+	return t.predictShards8(ctx, total, workers, fill)
+}
+
+// predictShards8 is the shared worker loop — predictShards32 with a
+// bit-packed input buffer.
+func (t *QuantNet) predictShards8(ctx context.Context, total, workers int, fill func(dst []uint64, lo, hi int)) ([][]float64, error) {
+	out := make([][]float64, total)
+	if total == 0 {
+		return out, ctx.Err()
+	}
+	chunks := (total + predictChunk - 1) / predictChunk
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := t.NewScratch()
+			logits64 := make([]float64, t.classes)
+			for ctx.Err() == nil {
+				ci := int(next.Add(1)) - 1
+				if ci >= chunks {
+					return
+				}
+				lo := ci * predictChunk
+				hi := lo + predictChunk
+				if hi > total {
+					hi = total
+				}
+				buf := scratch.in[:(hi-lo)*t.inWords]
+				fill(buf, lo, hi)
+				logits := t.Forward8(buf, hi-lo, scratch)
+				for i := lo; i < hi; i++ {
+					row := logits[(i-lo)*t.classes : (i-lo+1)*t.classes]
+					for j, v := range row {
+						logits64[j] = float64(v)
+					}
+					out[i] = Softmax(logits64)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

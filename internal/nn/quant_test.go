@@ -1,0 +1,276 @@
+package nn
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowgen/internal/tensor"
+)
+
+// packBits packs a batch of one-hot images into the bit layout
+// flow.EncodeBits produces (ascending flat index, 64 per word).
+func packBits(x *tensor.Tensor, hw int) []uint64 {
+	n := x.Shape[0]
+	words := (hw + 63) / 64
+	out := make([]uint64, n*words)
+	for s := 0; s < n; s++ {
+		for p, v := range x.Data[s*hw : (s+1)*hw] {
+			if v != 0 {
+				out[s*words+p>>6] |= 1 << (uint(p) & 63)
+			}
+		}
+	}
+	return out
+}
+
+// quantTieEps is the near-tie exemption for int8-vs-f64 argmax
+// comparisons. Quantized logits carry ~1e-2 absolute error on the
+// O(1)-scale logits of these nets (7-bit weights and activations), so
+// samples whose top-2 f64 logits sit closer than this can legitimately
+// flip; the differential gates bound how many samples may be tied.
+const quantTieEps = 3e-2
+
+// quantLogitTol is the documented int8-vs-f64 logit tolerance
+// (DESIGN.md §3.6): per-layer quantization contributes ~1/126 relative
+// error per operand and the stack compounds a few layers of it.
+// Measured max absolute logit error across the test architectures:
+// ~0.01 (relu) to ~0.06 (the wide stride-1 variant) on O(1) logits.
+const quantLogitTol = 8e-2
+
+// TestQuantNetFirstConvMatchesF32: the bit-packed first convolution
+// must be bit-identical to the f32 engine's sparse scatter — same
+// weights, same ascending-position accumulation, and adding a weight
+// row is exactly multiplying it by 1.0.
+func TestQuantNetFirstConvMatchesF32(t *testing.T) {
+	arch := FastArch(7)
+	arch.InH, arch.InW = 8, 9
+	net := arch.Build(2)
+	conv := net.Layers[0].(*Conv2D)
+	h, w := arch.InH, arch.InW
+	hw := h * w
+
+	c32 := newConv32(conv, h, w)
+	bc := &bitConv8{c: newConv32(conv, h, w), inWords: (hw + 63) / 64}
+
+	rng := rand.New(rand.NewSource(3))
+	const n = 32
+	x := oneHotBatch(rng, n, h, w)
+	xf := make([]float32, n*hw)
+	for i, v := range x.Data {
+		xf[i] = float32(v)
+	}
+	want := make([]float32, n*c32.outSize())
+	c32.forwardSparse(xf, n, want)
+
+	qn := &QuantNet{inH: h, inW: w, inWords: bc.inWords, first: bc}
+	s := qn.NewScratch()
+	got := bc.forward8(packBits(x, hw), n, s)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: bit conv %v != f32 sparse conv %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuantNetMatchesF64 is the engine-level differential gate: for
+// every test architecture the int8 logits sit within the documented
+// quantization tolerance of the f64 logits, and the argmax agrees on
+// every sample whose top-2 f64 logits are not near-tied (with the tied
+// fraction itself bounded, so a drift cannot hide behind the
+// exemption).
+func TestQuantNetMatchesF64(t *testing.T) {
+	for name, arch := range infer32TestArchs() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			net := arch.Build(3)
+			qnet, err := NewQuantNet(net, arch.InH, arch.InW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if qnet.NumClasses() != arch.NumClasses {
+				t.Fatalf("compiled %d classes, want %d", qnet.NumClasses(), arch.NumClasses)
+			}
+
+			const n = 96
+			hw := arch.InH * arch.InW
+			x := oneHotBatch(rng, n, arch.InH, arch.InW)
+			want := logits64(net, x)
+			probs64 := net.PredictBatch(x, 1)
+			probs8 := qnet.PredictBatch8(x, 1)
+
+			ties, worst := 0, 0.0
+			scratch := qnet.NewScratch()
+			bits := packBits(x, hw)
+			for s0 := 0; s0 < n; s0 += predictChunk {
+				hi := s0 + predictChunk
+				if hi > n {
+					hi = n
+				}
+				logits := qnet.Forward8(bits[s0*qnet.inWords:], hi-s0, scratch)
+				for s := s0; s < hi; s++ {
+					row := logits[(s-s0)*qnet.classes : (s-s0+1)*qnet.classes]
+					gap := top2Gap(want[s])
+					if wi, gi := argmaxF64(want[s]), argmaxF32(row); wi != gi {
+						if gap > quantTieEps {
+							t.Fatalf("sample %d: int8 argmax %d != f64 argmax %d (gap %g)", s, gi, wi, gap)
+						}
+						ties++
+					}
+					for j, v := range row {
+						d := math.Abs(float64(v) - want[s][j])
+						if d > worst {
+							worst = d
+						}
+						if d > quantLogitTol*math.Max(1, math.Abs(want[s][j])) {
+							t.Fatalf("sample %d logit %d: int8 %v vs f64 %v (|Δ|=%g)", s, j, v, want[s][j], d)
+						}
+					}
+					// Entry points agree with the raw forward bit-for-bit.
+					sm := softmaxOf(row)
+					for j := range row {
+						if probs8[s][j] != sm[j] {
+							t.Fatalf("sample %d: PredictBatch8 probs diverge from Forward8 softmax", s)
+						}
+					}
+					if a, b := argmaxF64(probs8[s]), argmaxF64(probs64[s]); a != b && gap > quantTieEps {
+						t.Fatalf("sample %d: prob argmax int8 %d != f64 %d", s, a, b)
+					}
+				}
+			}
+			if ties > n/5 {
+				t.Fatalf("%d/%d samples flipped inside the tie exemption — engines drifted", ties, n)
+			}
+			t.Logf("max |int8 − f64| logit error: %.4g; argmax flips inside tie gap: %d/%d", worst, ties, n)
+		})
+	}
+}
+
+// TestQuantNetDeterministicAcrossWorkers: worker sharding must not
+// change a single bit of the quantized predictions (per-sample
+// activation scales and exact integer accumulation make this hold by
+// construction; the test pins it).
+func TestQuantNetDeterministicAcrossWorkers(t *testing.T) {
+	arch := FastArch(7)
+	arch.InH, arch.InW = 8, 9
+	net := arch.Build(5)
+	qnet, err := NewQuantNet(net, arch.InH, arch.InW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	const n = 200
+	hw := arch.InH * arch.InW
+	x := oneHotBatch(rng, n, arch.InH, arch.InW)
+	bits := packBits(x, hw)
+	base := qnet.PredictBatch8(x, 1)
+	fill := func(dst []uint64, lo, hi int) {
+		copy(dst, bits[lo*qnet.inWords:hi*qnet.inWords])
+	}
+	for _, workers := range []int{2, 3, 7, 16} {
+		got := qnet.PredictBatch8(x, workers)
+		streamed, err := qnet.PredictStreamBits(context.Background(), n, workers, fill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range base {
+			for j := range base[s] {
+				if got[s][j] != base[s][j] {
+					t.Fatalf("workers=%d sample %d: batch prediction not bit-identical", workers, s)
+				}
+				if streamed[s][j] != base[s][j] {
+					t.Fatalf("workers=%d sample %d: streamed prediction not bit-identical", workers, s)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantNetSnapshotIsolation: training the source network after
+// quantization must not change the snapshot's predictions.
+func TestQuantNetSnapshotIsolation(t *testing.T) {
+	arch := FastArch(3)
+	arch.InH, arch.InW = 12, 12
+	net := arch.Build(9)
+	qnet, err := NewQuantNet(net, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := oneHotBatch(rand.New(rand.NewSource(4)), 8, 12, 12)
+	before := qnet.PredictBatch8(x, 1)
+	for _, p := range net.Params() {
+		for i := range p.Data {
+			p.Data[i] += 0.25
+		}
+	}
+	after := qnet.PredictBatch8(x, 1)
+	for s := range before {
+		for j := range before[s] {
+			if before[s][j] != after[s][j] {
+				t.Fatal("snapshot predictions changed when the source network trained")
+			}
+		}
+	}
+	qnet2, err := NewQuantNet(net, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for s, row := range qnet2.PredictBatch8(x, 1) {
+		for j := range row {
+			if row[j] != before[s][j] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("recompiled snapshot ignored the weight update")
+	}
+}
+
+// TestQuantNetCancellation mirrors the other engines' contract.
+func TestQuantNetCancellation(t *testing.T) {
+	arch := FastArch(3)
+	arch.InH, arch.InW = 12, 12
+	qnet, err := NewQuantNet(arch.Build(1), 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := qnet.PredictStreamBits(done, 500, 2, func(dst []uint64, lo, hi int) {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestQuantNetRejectsNonOneHotStack: the int8 engine is specialized to
+// binary inputs and must refuse a stack that does not open with a
+// single-channel convolution.
+func TestQuantNetRejectsNonOneHotStack(t *testing.T) {
+	dense := &Network{Layers: []Layer{NewDense(rand.New(rand.NewSource(1)), 16, 4)}}
+	if _, err := NewQuantNet(dense, 4, 4); err == nil {
+		t.Fatal("accepted a dense-first stack")
+	}
+}
+
+// TestQuantNetCompileTime: the compile duration is recorded for the
+// serving stats.
+func TestQuantNetCompileTime(t *testing.T) {
+	arch := FastArch(3)
+	arch.InH, arch.InW = 12, 12
+	qnet, err := NewQuantNet(arch.Build(1), 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qnet.CompileTime() <= 0 {
+		t.Fatalf("compile time %v, want > 0", qnet.CompileTime())
+	}
+	if qnet.InWords() != (12*12+63)/64 {
+		t.Fatalf("InWords %d, want %d", qnet.InWords(), (12*12+63)/64)
+	}
+}

@@ -58,9 +58,10 @@ func sameProbs(a, b []float64) bool {
 // requires every response to be bit-identical to the direct batched
 // scoring of the same flow — and the traffic to have actually coalesced
 // into multi-request batches. It runs against both serving engines: the
-// packed f32 snapshot (the default) and the f64 clone pool.
+// packed f32 snapshot (the default), the f64 clone pool, and the int8
+// quantized snapshot.
 func TestBatcherMatchesDirect(t *testing.T) {
-	for _, prec := range []nn.Precision{nn.F32, nn.F64} {
+	for _, prec := range []nn.Precision{nn.F32, nn.F64, nn.Int8} {
 		t.Run(prec.String(), func(t *testing.T) {
 			m := testModel("m", 1)
 			m.Precision = prec
@@ -206,12 +207,24 @@ func TestBatcherEncodingMismatch(t *testing.T) {
 // TestHotReloadDuringTraffic swaps model versions through a registry
 // while clients hammer the batcher, asserting zero downtime: every
 // response is bit-identical to the direct scoring of whichever version
-// it reports, and the final version's responses eventually flow.
+// it reports, and the final version's responses eventually flow. It
+// runs under both fast-path engines (f32 and int8) — a reload must
+// preserve the registered precision, so int8 responses stay int8
+// across every swap.
 func TestHotReloadDuringTraffic(t *testing.T) {
+	for _, prec := range []nn.Precision{nn.F32, nn.Int8} {
+		t.Run(prec.String(), func(t *testing.T) {
+			testHotReloadDuringTraffic(t, prec)
+		})
+	}
+}
+
+func testHotReloadDuringTraffic(t *testing.T, prec nn.Precision) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "m.flowmodel")
 	// Two weight sets cycling through the same file.
 	v1, v2 := testModel("m", 1), testModel("m", 2)
+	v1.Precision, v2.Precision = prec, prec
 	if err := SaveModel(path, v1); err != nil {
 		t.Fatal(err)
 	}
@@ -220,6 +233,7 @@ func TestHotReloadDuringTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	loaded.Precision = prec
 	reg.Register(loaded)
 
 	const clients, perClient, reloadN = 8, 40, 6
@@ -287,6 +301,9 @@ func TestHotReloadDuringTraffic(t *testing.T) {
 	}
 	if cur.Version != reloadN+1 {
 		t.Fatalf("final version %d, want %d", cur.Version, reloadN+1)
+	}
+	if cur.Precision != prec {
+		t.Fatalf("reload dropped the precision: final model serves %v, want %v", cur.Precision, prec)
 	}
 	// Traffic after the last swap serves the final weights.
 	pred, err := b.Submit(context.Background(), v1.EncodeFlow(flows[0]))

@@ -64,6 +64,12 @@ type Model struct {
 	infer     *nn.InferenceNet
 	inferErr  error
 
+	// quant is the lazily compiled int8 snapshot (weights quantized and
+	// packed once per Model), with the same sharing discipline.
+	quantOnce sync.Once
+	quant     *nn.QuantNet
+	quantErr  error
+
 	// clones pools parameter-sharing f64 inference clones. nn layers
 	// retain forward state, so a network serves one forward pipeline at
 	// a time — but the serving layer scores concurrently (batcher
@@ -81,6 +87,28 @@ func (m *Model) Infer() (*nn.InferenceNet, error) {
 		m.infer, m.inferErr = nn.NewInferenceNet(m.Net, m.Arch.InH, m.Arch.InW)
 	})
 	return m.infer, m.inferErr
+}
+
+// Quant returns the model's int8 quantized engine, compiling it on
+// first use (Registry.Register warms it eagerly for Int8 models).
+func (m *Model) Quant() (*nn.QuantNet, error) {
+	m.quantOnce.Do(func() {
+		m.quant, m.quantErr = nn.NewQuantNet(m.Net, m.Arch.InH, m.Arch.InW)
+	})
+	return m.quant, m.quantErr
+}
+
+// QuantCompileTime reports how long the int8 snapshot took to compile,
+// or 0 when the model has not compiled one — surfaced by /v1/stats.
+func (m *Model) QuantCompileTime() time.Duration {
+	if m.Precision != nn.Int8 {
+		return 0
+	}
+	q, err := m.Quant()
+	if err != nil {
+		return 0
+	}
+	return q.CompileTime()
 }
 
 // EncodeLen returns the flattened one-hot encoding length of one flow.
@@ -105,12 +133,19 @@ func (m *Model) getClone() *nn.Network {
 // deterministic and independent of how requests were batched either
 // way.
 func (m *Model) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, workers int) ([][]float64, error) {
-	if m.Precision == nn.F32 {
+	switch m.Precision {
+	case nn.F32:
 		inet, err := m.Infer()
 		if err != nil {
 			return nil, err
 		}
 		return inet.PredictBatchCtx(ctx, x, workers)
+	case nn.Int8:
+		qnet, err := m.Quant()
+		if err != nil {
+			return nil, err
+		}
+		return qnet.PredictBatchCtx(ctx, x, workers)
 	}
 	c := m.getClone()
 	defer m.clones.Put(c)
@@ -124,12 +159,19 @@ func (m *Model) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, workers i
 // recommendation pools.
 func (m *Model) PredictFlows(ctx context.Context, flows []flow.Flow, workers int) ([][]float64, error) {
 	hw := m.EncodeLen()
-	if m.Precision == nn.F32 {
+	switch m.Precision {
+	case nn.F32:
 		inet, err := m.Infer()
 		if err != nil {
 			return nil, err
 		}
 		return inet.PredictStream32(ctx, len(flows), workers, core.EncodeFill32(m.Space, flows, hw))
+	case nn.Int8:
+		qnet, err := m.Quant()
+		if err != nil {
+			return nil, err
+		}
+		return qnet.PredictStreamBits(ctx, len(flows), workers, core.EncodeFillBits(m.Space, flows))
 	}
 	c := m.getClone()
 	defer m.clones.Put(c)
@@ -287,11 +329,15 @@ func (r *Registry) Register(m *Model) *Model {
 	if m.LoadedAt.IsZero() {
 		m.LoadedAt = time.Now()
 	}
-	if m.Precision == nn.F32 {
+	switch m.Precision {
+	case nn.F32:
 		// Warm the packed f32 snapshot so the first request after a
 		// (re)registration does not pay the compile; a compile error is
 		// remembered and surfaced by the first prediction.
 		m.Infer()
+	case nn.Int8:
+		// Same for the quantized snapshot.
+		m.Quant()
 	}
 	next.byName[m.Name] = m
 	if next.defaultName == "" {

@@ -519,6 +519,16 @@ type statsResponse struct {
 	Batchers      map[string]BatcherStats  `json:"batchers"`
 	Cache         CacheStats               `json:"cache"`
 	Reloads       int64                    `json:"reloads"`
+	Models        map[string]ModelStats    `json:"models"`
+}
+
+// ModelStats describes one registered model's serving engine: the
+// active precision and, for int8 models, how long the quantized
+// snapshot took to compile (weight quantization + SWAR packing).
+type ModelStats struct {
+	Version           int     `json:"version"`
+	Precision         string  `json:"precision"`
+	QuantCompileMicro float64 `json:"quant_compile_micro,omitempty"`
 }
 
 func (s *Server) handleStats(*http.Request) (any, error) {
@@ -528,6 +538,14 @@ func (s *Server) handleStats(*http.Request) (any, error) {
 		Batchers:      map[string]BatcherStats{},
 		Cache:         s.cache.Stats(),
 		Reloads:       s.Registry.Reloads(),
+		Models:        map[string]ModelStats{},
+	}
+	for _, m := range s.Registry.List() {
+		out.Models[m.Name] = ModelStats{
+			Version:           m.Version,
+			Precision:         m.Precision.String(),
+			QuantCompileMicro: float64(m.QuantCompileTime().Nanoseconds()) / 1e3,
+		}
 	}
 	s.metrics.Range(func(k, v any) bool {
 		m := v.(*endpointMetrics)

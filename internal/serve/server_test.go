@@ -14,6 +14,7 @@ import (
 
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
+	"flowgen/internal/nn"
 )
 
 // newTestServer stands up a server over one registered test model.
@@ -261,9 +262,10 @@ func TestServerModelsAndReload(t *testing.T) {
 }
 
 // TestServerHealthAndStats checks the liveness endpoint and that the
-// per-endpoint/batcher/cache counters populate under traffic.
+// per-endpoint/batcher/cache/model counters populate under traffic.
 func TestServerHealthAndStats(t *testing.T) {
 	m := testModel("alu", 5)
+	m.Precision = nn.Int8
 	_, ts := newTestServer(t, m)
 
 	var health healthResponse
@@ -301,6 +303,16 @@ func TestServerHealthAndStats(t *testing.T) {
 	}
 	if _, ok := stats.Endpoints["healthz"]; !ok {
 		t.Fatal("healthz must be instrumented")
+	}
+	ms, ok := stats.Models["alu"]
+	if !ok {
+		t.Fatalf("model stats missing: %+v", stats.Models)
+	}
+	if ms.Precision != "int8" || ms.Version != 1 {
+		t.Fatalf("model stats: %+v, want precision int8 v1", ms)
+	}
+	if ms.QuantCompileMicro <= 0 {
+		t.Fatalf("int8 model must report its quantized-snapshot compile time, got %+v", ms)
 	}
 
 	// Unknown fields are rejected (strict decoding).

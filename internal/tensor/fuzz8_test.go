@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzInt8KernelsAgree fuzzes the quantized inference kernels over
+// arbitrary shapes — unit dims, non-tile multiples, strided final
+// blocks — and requires (a) Gemm8Packed to match the plain-integer
+// reference (exact quantized dot products, identical dequantizing
+// float32 expression) bit-for-bit, (b) the strided variant to match the
+// contiguous one, and (c) the dequantized output to sit within the
+// analytic quantization-error bound of the exact f64 product, which
+// also pins it against the f32 kernels (both engines approximate the
+// same real product). The committed seed corpus under testdata/fuzz
+// pins the historical edge cases.
+func FuzzInt8KernelsAgree(f *testing.F) {
+	f.Add(1, 1, 1, int64(1), 0)    // all-unit dims
+	f.Add(4, 4, 4, int64(2), 0)    // exact tile multiples
+	f.Add(5, 7, 9, int64(3), 3)    // stragglers on every dim + strides
+	f.Add(1, 5, 8, int64(4), 1)    // single-row A, padded final panel
+	f.Add(13, 2, 1, int64(5), 2)   // k=1: every lane but one is padding
+	f.Add(3, 4, 129, int64(6), 0)  // long contraction
+	f.Add(63, 31, 17, int64(7), 5) // co-prime everything
+	f.Add(2, 3, 7, int64(8), 4)    // odd m exercises the 1-row tail
+
+	f.Fuzz(func(t *testing.T, m, n, k int, seed int64, extra int) {
+		if m < 1 || n < 1 || k < 1 || m > 64 || n > 64 || k > 256 {
+			t.Skip()
+		}
+		if extra < 0 || extra > 8 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := randSlice32(rng, m*k)
+		w := randSlice32(rng, n*k)
+		// Sprinkle zeros (the one-hot workload is mostly zeros) and zero
+		// out a full row/column when there is room, hitting the scale-0
+		// paths.
+		for i := 0; i < len(a); i += 3 {
+			a[i] = 0
+		}
+		if m > 2 {
+			for l := 0; l < k; l++ {
+				a[2*k+l] = 0
+			}
+		}
+		if n > 2 {
+			for l := 0; l < k; l++ {
+				w[2*k+l] = 0
+			}
+		}
+		bias := randSlice32(rng, n)
+
+		qb, bScale := QuantizeSymmetric8(w, n, k)
+		pb := PackB8(w, n, k)
+		words, aStride, sums, scales, qa := quantRows8(a, m, k, 0)
+		want := refQuantGemm8(m, n, k, qa, scales, qb, bScale, bias)
+
+		c := make([]float32, m*n)
+		Gemm8Packed(m, n, words, aStride, sums, scales, pb, c, n, bias)
+
+		// Strided final blocks: A words and C embedded in wider matrices.
+		wideWords, wideStride, wideSums, wideScales, _ := quantRows8(a, m, k, extra)
+		cStride := n + extra
+		strided := make([]float32, m*cStride)
+		Gemm8Packed(m, n, wideWords, wideStride, wideSums, wideScales, pb, strided, cStride, bias)
+
+		for i := 0; i < m; i++ {
+			maxA := maxAbsRow(a[i*k : (i+1)*k])
+			for l := 0; l < k; l++ {
+				// The SWAR multiply and the reference consume the same codes.
+				if got := int8(int32((words[i*aStride+l/4]>>(16*(l%4)))&0xffff) - quantBias); got != qa[i*k+l] {
+					t.Fatalf("%dx%dx%d: packed code [%d,%d] = %d, want %d", m, n, k, i, l, got, qa[i*k+l])
+				}
+			}
+			for j := 0; j < n; j++ {
+				at := i*n + j
+				if c[at] != want[at] {
+					t.Fatalf("%dx%dx%d [%d,%d]: Gemm8Packed %v != reference %v", m, n, k, i, j, c[at], want[at])
+				}
+				if strided[i*cStride+j] != want[at] {
+					t.Fatalf("%dx%dx%d [%d,%d]: strided Gemm8Packed %v != reference %v",
+						m, n, k, i, j, strided[i*cStride+j], want[at])
+				}
+				var exact float64
+				for l := 0; l < k; l++ {
+					exact += float64(a[i*k+l]) * float64(w[j*k+l])
+				}
+				exact += float64(bias[j])
+				bound := quantErrBound8(k, maxA, maxAbsRow(w[j*k:(j+1)*k])) + math.Abs(float64(bias[j]))*1e-6
+				if d := math.Abs(float64(c[at]) - exact); d > bound {
+					t.Fatalf("%dx%dx%d [%d,%d]: quantization error %g exceeds the analytic bound %g",
+						m, n, k, i, j, d, bound)
+				}
+			}
+		}
+	})
+}

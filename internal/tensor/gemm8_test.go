@@ -1,0 +1,402 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refQuantGemm8 recomputes what Gemm8Packed promises, from first
+// principles: exact integer dot products of the quantized codes,
+// dequantized with the identical float32 expression the fused epilogue
+// uses. Gemm8Packed must match it bit-for-bit. qa/qb are the unbiased
+// codes (q ∈ [-63, 63]) in m×k / n×k row-major layout.
+func refQuantGemm8(m, n, k int, qa []int8, aScale []float32, qb []int8, bScale []float32,
+	bias []float32) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := int32(0)
+			for l := 0; l < k; l++ {
+				s += int32(qa[i*k+l]) * int32(qb[j*k+l])
+			}
+			v := aScale[i] * bScale[j] * float32(s)
+			if bias != nil {
+				v += bias[j]
+			}
+			c[i*n+j] = v
+		}
+	}
+	return c
+}
+
+// quantRows8 quantizes each row of an m×k float32 matrix per sample and
+// packs it for Gemm8Packed, returning the packed words (aStride =
+// ⌈k/4⌉ + extra), byte sums, scales, and the unbiased codes for the
+// reference.
+func quantRows8(a []float32, m, k, extra int) (words []uint64, aStride int, sums []int32, scales []float32, qa []int8) {
+	kw := (k + 3) / 4
+	aStride = kw + extra
+	words = make([]uint64, m*aStride)
+	sums = make([]int32, m)
+	scales = make([]float32, m)
+	qa = make([]int8, m*k)
+	buf := make([]byte, k)
+	for i := 0; i < m; i++ {
+		scales[i] = QuantizeU8(a[i*k:(i+1)*k], buf)
+		for l := 0; l < k; l++ {
+			qa[i*k+l] = int8(int32(buf[l]) - quantBias)
+		}
+		sums[i] = PackRowU8(buf, words[i*aStride:i*aStride+kw])
+	}
+	return
+}
+
+// quantErrBound8 bounds |dequantized − f64 product| for one output
+// element: each operand carries at most half a quantization step
+// (scale/2 = maxabs/126), so the product error over k terms is
+// k·maxA·maxB·(1/126 + 1/126 + 1/(126·126)), plus a small relative
+// margin for the single dequantizing float32 multiply.
+func quantErrBound8(k int, maxA, maxB float64) float64 {
+	const step = 1.0 / (2 * QMax8) // half-step as a fraction of maxabs
+	return float64(k)*maxA*maxB*(2*step+step*step)*1.001 + 1e-7
+}
+
+func maxAbsRow(row []float32) float64 {
+	var m float64
+	for _, v := range row {
+		if a := math.Abs(float64(v)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func TestQuantizeSymmetric8(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, k := 5, 17
+	w := randSlice32(rng, n*k)
+	// Row 2 all zeros, row 3 gets an exact max to pin the endpoints.
+	for l := 0; l < k; l++ {
+		w[2*k+l] = 0
+	}
+	w[3*k] = -2.5
+	q, scales := QuantizeSymmetric8(w, n, k)
+	if scales[2] != 0 {
+		t.Fatalf("all-zero row scale = %v, want 0", scales[2])
+	}
+	for j := 0; j < n; j++ {
+		maxAbs := float32(maxAbsRow(w[j*k : (j+1)*k]))
+		if maxAbs > 0 && scales[j] != maxAbs/QMax8 {
+			t.Fatalf("row %d scale %v, want maxabs/%d = %v", j, scales[j], QMax8, maxAbs/QMax8)
+		}
+		for l := 0; l < k; l++ {
+			code := q[j*k+l]
+			if code < -QMax8 || code > QMax8 {
+				t.Fatalf("row %d code %d outside ±%d", j, code, QMax8)
+			}
+			v := w[j*k+l]
+			var back float32
+			if scales[j] != 0 {
+				back = float32(code) * scales[j]
+			}
+			if d := math.Abs(float64(back - v)); d > float64(scales[j])/2+1e-9 {
+				t.Fatalf("row %d col %d: %v quantizes to %d (%v), error %g > half step", j, l, v, code, back, d)
+			}
+			// The row max must quantize exactly to ±QMax8.
+			if scales[j] != 0 && math.Abs(float64(v)) == float64(maxAbs) && code != QMax8 && code != -QMax8 {
+				t.Fatalf("row %d max %v got code %d, want ±%d", j, v, code, QMax8)
+			}
+		}
+	}
+}
+
+func TestQuantizeU8(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := randSlice32(rng, 23)
+	dst := make([]byte, 23)
+	scale := QuantizeU8(src, dst)
+	maxAbs := float32(maxAbsRow(src))
+	if scale != maxAbs/QMax8 {
+		t.Fatalf("scale %v, want %v", scale, maxAbs/QMax8)
+	}
+	for i, u := range dst {
+		if u < quantBias-QMax8 || u > quantBias+QMax8 {
+			t.Fatalf("biased code %d outside [%d, %d]", u, quantBias-QMax8, quantBias+QMax8)
+		}
+		back := float32(int32(u)-quantBias) * scale
+		if d := math.Abs(float64(back - src[i])); d > float64(scale)/2+1e-9 {
+			t.Fatalf("[%d] %v → code %d (%v), error %g > half step", i, src[i], u, back, d)
+		}
+	}
+
+	zero := make([]float32, 7)
+	if s := QuantizeU8(zero, dst); s != 0 {
+		t.Fatalf("all-zero scale %v, want 0", s)
+	}
+	for i := 0; i < 7; i++ {
+		if dst[i] != quantBias {
+			t.Fatalf("all-zero code [%d] = %d, want the biased zero %d", i, dst[i], quantBias)
+		}
+	}
+}
+
+func TestPackRowU8(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 5, 8, 13} {
+		u := make([]byte, k)
+		wantSum := int32(0)
+		for i := range u {
+			u[i] = byte(1 + (i*37)%127)
+			wantSum += int32(u[i])
+		}
+		kw := (k + 3) / 4
+		// Padding lanes carry the biased zero and join the sum.
+		wantSum += int32(quantBias) * int32(4*kw-k)
+		words := make([]uint64, kw)
+		if got := PackRowU8(u, words); got != wantSum {
+			t.Fatalf("k=%d: sum %d, want %d", k, got, wantSum)
+		}
+		for l := 0; l < 4*kw; l++ {
+			want := uint64(quantBias)
+			if l < k {
+				want = uint64(u[l])
+			}
+			if got := (words[l/4] >> (16 * (l % 4))) & 0xffff; got != want {
+				t.Fatalf("k=%d lane %d: %d, want %d", k, l, got, want)
+			}
+		}
+	}
+}
+
+func TestIm2RowU8(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	h, w, c := 5, 6, 3
+	kh, kw, padY, padX := 3, 3, 1, 1
+	oh, ow := h, w
+	src := make([]byte, h*w*c)
+	for i := range src {
+		src[i] = byte(1 + rng.Intn(127))
+	}
+	dst := make([]byte, oh*ow*kh*kw*c)
+	Im2RowU8(src, h, w, c, kh, kw, padY, padX, oh, ow, dst)
+	patch := kh * kw * c
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					for ch := 0; ch < c; ch++ {
+						iy, ix := y+ky-padY, x+kx-padX
+						want := byte(quantBias)
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							want = src[(iy*w+ix)*c+ch]
+						}
+						got := dst[(y*ow+x)*patch+(ky*kw+kx)*c+ch]
+						if got != want {
+							t.Fatalf("patch (%d,%d) tap (%d,%d,%d): %d, want %d", y, x, ky, kx, ch, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizePackU8MatchesBytePath: the fused quantize+pack must
+// reproduce QuantizeU8 followed by PackRowU8 exactly — same scale, same
+// packed words — and its prefix table must carry the running byte sums.
+func TestQuantizePackU8MatchesBytePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{4, 8, 64, 128, 132} {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64())
+		}
+		src[rng.Intn(n)] = 0
+		wantBytes := make([]byte, n)
+		wantScale := QuantizeU8(src, wantBytes)
+		wantWords := make([]uint64, n/4)
+		wantSum := PackRowU8(wantBytes, wantWords)
+
+		gotWords := make([]uint64, n/4)
+		pre := make([]int32, n/4+1)
+		gotScale := QuantizePackU8(src, gotWords, pre)
+		if gotScale != wantScale {
+			t.Fatalf("n=%d: scale %v, want %v", n, gotScale, wantScale)
+		}
+		for g := range wantWords {
+			if gotWords[g] != wantWords[g] {
+				t.Fatalf("n=%d word %d: %#x, want %#x", n, g, gotWords[g], wantWords[g])
+			}
+		}
+		if pre[n/4] != wantSum {
+			t.Fatalf("n=%d: total byte sum %d, want %d", n, pre[n/4], wantSum)
+		}
+		run := int32(0)
+		for g, wd := range gotWords {
+			for r := 0; r < 4; r++ {
+				run += int32((wd >> (16 * r)) & 0xffff)
+			}
+			if pre[g+1] != run {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, g+1, pre[g+1], run)
+			}
+		}
+	}
+	// All-zero input: zero scale, zero codes, consistent prefix.
+	zero := make([]float32, 16)
+	words := make([]uint64, 4)
+	pre := make([]int32, 5)
+	if s := QuantizePackU8(zero, words, pre); s != 0 {
+		t.Fatalf("all-zero scale %v", s)
+	}
+	for g, wd := range words {
+		if wd != padWordU8 || pre[g+1] != int32(4*(g+1))*quantBias {
+			t.Fatalf("all-zero word %d: %#x / prefix %d", g, wd, pre[g+1])
+		}
+	}
+}
+
+// TestIm2RowPackU8MatchesBytePath: the channel-aligned word-domain
+// lowering must produce exactly the words and row sums of the
+// byte-domain Im2RowU8 + PackRowU8 pair, across kernel/padding shapes
+// that exercise every clamp branch.
+func TestIm2RowPackU8MatchesBytePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cases := [][6]int{
+		// h, w, c, kh, kw, pad style exercised via (kh-1)/2, (kw-1)/2
+		{4, 4, 4, 3, 6, 0},
+		{5, 7, 8, 3, 3, 0},
+		{8, 9, 4, 2, 5, 0},
+		{1, 6, 12, 3, 3, 0},
+		{6, 1, 4, 4, 2, 0},
+	}
+	for _, tc := range cases {
+		h, w, c, kh, kw := tc[0], tc[1], tc[2], tc[3], tc[4]
+		padY, padX := (kh-1)/2, (kw-1)/2
+		oh, ow := h, w
+		k := kh * kw * c
+		kw4 := k / 4
+		src := make([]byte, h*w*c)
+		for i := range src {
+			src[i] = byte(1 + rng.Intn(127))
+		}
+		patch := make([]byte, oh*ow*k)
+		Im2RowU8(src, h, w, c, kh, kw, padY, padX, oh, ow, patch)
+		wantWords := make([]uint64, oh*ow*kw4)
+		wantSums := make([]int32, oh*ow)
+		for r := 0; r < oh*ow; r++ {
+			wantSums[r] = PackRowU8(patch[r*k:(r+1)*k], wantWords[r*kw4:(r+1)*kw4])
+		}
+		gotWords := make([]uint64, oh*ow*kw4)
+		gotSums := make([]int32, oh*ow)
+		Im2RowPackU8(src, h, w, c, kh, kw, padY, padX, oh, ow,
+			make([]uint64, h*w*c/4), make([]int32, h*w*c+1), gotWords, gotSums)
+		for i := range wantWords {
+			if gotWords[i] != wantWords[i] {
+				t.Fatalf("%dx%dx%d k%dx%d word %d: %#x, want %#x", h, w, c, kh, kw, i, gotWords[i], wantWords[i])
+			}
+		}
+		for r := range wantSums {
+			if gotSums[r] != wantSums[r] {
+				t.Fatalf("%dx%dx%d k%dx%d row %d sum: %d, want %d", h, w, c, kh, kw, r, gotSums[r], wantSums[r])
+			}
+		}
+	}
+}
+
+// TestGemm8PackedExact pins Gemm8Packed to the plain-integer reference
+// bit-for-bit across tiling edge shapes, with and without bias, and
+// with strided A/C final blocks.
+func TestGemm8PackedExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range shapes32 {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice32(rng, m*k)
+		w := randSlice32(rng, n*k)
+		// Exercise the zero-scale paths: an all-zero A row and B column.
+		if m > 2 {
+			for l := 0; l < k; l++ {
+				a[2*k+l] = 0
+			}
+		}
+		if n > 1 {
+			for l := 0; l < k; l++ {
+				w[1*k+l] = 0
+			}
+		}
+		bias := randSlice32(rng, n)
+		qb, bScale := QuantizeSymmetric8(w, n, k)
+		pb := PackB8(w, n, k)
+		for j := 0; j < n; j++ {
+			if pb.Scale[j] != bScale[j] {
+				t.Fatalf("%dx%dx%d: PackB8 scale[%d] %v != QuantizeSymmetric8 %v", m, n, k, j, pb.Scale[j], bScale[j])
+			}
+		}
+
+		for _, extra := range []int{0, 3} {
+			words, aStride, sums, scales, qa := quantRows8(a, m, k, extra)
+			for _, withBias := range []bool{false, true} {
+				var bs []float32
+				if withBias {
+					bs = bias
+				}
+				want := refQuantGemm8(m, n, k, qa, scales, qb, bScale, bs)
+				cStride := n + extra
+				c := make([]float32, m*cStride)
+				for i := range c {
+					c[i] = float32(math.NaN()) // rows must be overwritten, not accumulated
+				}
+				Gemm8Packed(m, n, words, aStride, sums, scales, pb, c, cStride, bs)
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						if got := c[i*cStride+j]; got != want[i*n+j] {
+							t.Fatalf("%dx%dx%d extra=%d bias=%v [%d,%d]: %v, want bit-exact %v",
+								m, n, k, extra, withBias, i, j, got, want[i*n+j])
+						}
+					}
+					for j := n; j < cStride; j++ {
+						if !math.IsNaN(float64(c[i*cStride+j])) {
+							t.Fatalf("%dx%dx%d extra=%d: wrote past column %d of row %d", m, n, k, extra, n, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemm8PackedQuantError bounds the dequantized output against the
+// exact f64 product of the original floats.
+func TestGemm8PackedQuantError(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, dims := range shapes32 {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice32(rng, m*k)
+		w := randSlice32(rng, n*k)
+		words, aStride, sums, scales, _ := quantRows8(a, m, k, 0)
+		pb := PackB8(w, n, k)
+		c := make([]float32, m*n)
+		Gemm8Packed(m, n, words, aStride, sums, scales, pb, c, n, nil)
+		for i := 0; i < m; i++ {
+			maxA := maxAbsRow(a[i*k : (i+1)*k])
+			for j := 0; j < n; j++ {
+				var exact float64
+				for l := 0; l < k; l++ {
+					exact += float64(a[i*k+l]) * float64(w[j*k+l])
+				}
+				bound := quantErrBound8(k, maxA, maxAbsRow(w[j*k:(j+1)*k]))
+				if d := math.Abs(float64(c[i*n+j]) - exact); d > bound {
+					t.Fatalf("%dx%dx%d [%d,%d]: quantization error %g exceeds bound %g", m, n, k, i, j, d, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestPackB8RejectsDeepContraction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PackB8 accepted k beyond the int32 accumulator bound")
+		}
+	}()
+	PackB8(make([]float32, maxQuantK+1), 1, maxQuantK+1)
+}

@@ -171,13 +171,15 @@ func AccuracyWorkers(net *nn.Network, d *Dataset, workers int) float64 {
 // AccuracyPrec is AccuracyWorkers with an explicit inference precision:
 // nn.F32 snapshots the network into the packed float32 engine for the
 // evaluation (the incremental framework's per-round accuracy goes
-// through this with its configured precision), nn.F64 keeps training
-// numerics.
+// through this with its configured precision), nn.Int8 quantizes the
+// snapshot and streams bit-packed encodings (dataset samples are the
+// one-hot flow encodings, exactly 0/1), nn.F64 keeps training numerics.
 func AccuracyPrec(net *nn.Network, d *Dataset, workers int, prec nn.Precision) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
 	hw := d.H * d.W
+	inWords := (hw + 63) / 64
 	probs, err := nn.PredictStreamPrec(context.Background(), net, prec, d.Len(), d.H, d.W, workers,
 		func(dst []float64, lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -189,6 +191,19 @@ func AccuracyPrec(net *nn.Network, d *Dataset, workers int, prec nn.Precision) f
 				row := dst[(i-lo)*hw : (i-lo+1)*hw]
 				for j, v := range d.X[i] {
 					row[j] = float32(v)
+				}
+			}
+		},
+		func(dst []uint64, lo, hi int) {
+			for i := range dst {
+				dst[i] = 0
+			}
+			for i := lo; i < hi; i++ {
+				base := (i - lo) * inWords
+				for p, v := range d.X[i] {
+					if v != 0 {
+						dst[base+p>>6] |= 1 << (uint(p) & 63)
+					}
 				}
 			}
 		})

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -159,4 +160,59 @@ func TestDeterministicTraining(t *testing.T) {
 	if run() != run() {
 		t.Fatal("training is not deterministic under fixed seeds")
 	}
+}
+
+// oneHotSet builds a binary separable problem shaped like the real
+// workload (one 1 per 6-wide row, everything else exactly 0 — the form
+// flow encodings take): the label is which half of the image holds the
+// majority of the set positions, with ties broken toward class 0.
+func oneHotSet(rng *rand.Rand, n int) *Dataset {
+	d := &Dataset{H: 6, W: 6, NumCl: 2}
+	for i := 0; i < n; i++ {
+		x := make([]float64, 36)
+		left := 0
+		for row := 0; row < 6; row++ {
+			col := rng.Intn(6)
+			x[row*6+col] = 1
+			if col < 3 {
+				left++
+			}
+		}
+		label := 0
+		if left < 3 {
+			label = 1
+		}
+		d.Add(x, label)
+	}
+	return d
+}
+
+// TestAccuracyPrecInt8Parity is the ISSUE 6 accuracy-parity gate:
+// evaluated at int8, a trained classifier's accuracy must sit within
+// 0.5pp of the f64 evaluation on the same dataset. Inputs are exactly
+// 0/1 (the int8 engine's bit-packed encoding is lossless on them), so
+// any gap comes from weight/activation quantization alone.
+func TestAccuracyPrecInt8Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := oneHotSet(rng, 400)
+	net := tinyNet(22, 2)
+	o, _ := opt.ByName("RMSProp", 1e-3)
+	tr := NewTrainer(net, o, 8)
+	tr.SetData(data)
+	if _, err := tr.Steps(2000); err != nil {
+		t.Fatal(err)
+	}
+	acc64 := AccuracyPrec(net, data, 0, nn.F64)
+	acc32 := AccuracyPrec(net, data, 0, nn.F32)
+	acc8 := AccuracyPrec(net, data, 0, nn.Int8)
+	if acc64 < 0.9 {
+		t.Fatalf("f64 accuracy %.3f — net did not train, parity check meaningless", acc64)
+	}
+	if d := math.Abs(acc8 - acc64); d > 0.005 {
+		t.Fatalf("int8 accuracy %.4f vs f64 %.4f: gap %.4f > 0.5pp", acc8, acc64, d)
+	}
+	if d := math.Abs(acc32 - acc64); d > 0.005 {
+		t.Fatalf("f32 accuracy %.4f vs f64 %.4f: gap %.4f > 0.5pp", acc32, acc64, d)
+	}
+	t.Logf("accuracy f64 %.4f | f32 %.4f | int8 %.4f", acc64, acc32, acc8)
 }

@@ -8,14 +8,13 @@
 // serve.Batcher against an f32-precision model, each response
 // argmax-checked against the f64 engine's scoring of the same flow.
 //
-// Each run rewrites BENCH_predict32.json with the measured numbers so
-// the repo carries a machine-readable perf data point per box.
+// Each run appends an entry to the BENCH_predict32.json trajectory
+// (see bench_record_test.go) so the repo carries a machine-readable
+// perf history per box and commit.
 package flowgen
 
 import (
 	"context"
-	"encoding/json"
-	"os"
 	"sync"
 	"testing"
 	"time"
@@ -46,36 +45,6 @@ func tieGap(xs []float64) float64 {
 // rounding, and they are excluded from the identity check (and counted,
 // so a drift would still fail the run).
 const benchTieEps = 1e-4
-
-type predict32Record struct {
-	Bench        string  `json:"bench"`
-	PoolFlows    int     `json:"pool_flows"`
-	Arch         string  `json:"arch"`
-	F64FlowsPerS float64 `json:"f64_flows_per_sec"`
-	F32FlowsPerS float64 `json:"f32_flows_per_sec"`
-	Speedup      float64 `json:"speedup_f32_vs_f64"`
-	ArgmaxTies   int     `json:"argmax_ties_excluded"`
-	ServeF32PerS float64 `json:"serve_f32_flows_per_sec,omitempty"`
-	ServeSpeedup float64 `json:"serve_speedup_f32_vs_f64,omitempty"`
-}
-
-// writeBenchRecord merges one benchmark's fields into
-// BENCH_predict32.json (both benches contribute to the same record).
-func writeBenchRecord(b *testing.B, update func(*predict32Record)) {
-	const path = "BENCH_predict32.json"
-	rec := predict32Record{Bench: "predict32", PoolFlows: 5000, Arch: "FastArch"}
-	if raw, err := os.ReadFile(path); err == nil {
-		json.Unmarshal(raw, &rec)
-	}
-	update(&rec)
-	raw, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
-		b.Logf("could not write %s: %v", path, err)
-	}
-}
 
 // BenchmarkPredictPool32 measures f32 pool-prediction throughput
 // against the f64 engine on the same pool and architecture.
@@ -131,11 +100,10 @@ func BenchmarkPredictPool32(b *testing.B) {
 		b.ReportMetric(f32Rate, "flows/s")
 		b.ReportMetric(f32Rate/f64Rate, "x-vs-f64")
 		if i == b.N-1 {
-			writeBenchRecord(b, func(rec *predict32Record) {
-				rec.F64FlowsPerS = f64Rate
-				rec.F32FlowsPerS = f32Rate
-				rec.Speedup = f32Rate / f64Rate
-				rec.ArgmaxTies = ties
+			appendBenchEntry(b, "BENCH_predict32.json", benchEntry{
+				Bench: "predict_pool32", Arch: "FastArch", PoolFlows: poolN,
+				F64FlowsPerS: f64Rate, F32FlowsPerS: f32Rate,
+				SpeedupF32VsF64: f32Rate / f64Rate, ArgmaxTies: ties,
 			})
 		}
 	}
@@ -212,9 +180,9 @@ func BenchmarkServePredict32(b *testing.B) {
 		b.ReportMetric(f32Rate, "flows/s")
 		b.ReportMetric(d64.Seconds()/d32.Seconds(), "x-vs-f64-serving")
 		if i == b.N-1 {
-			writeBenchRecord(b, func(rec *predict32Record) {
-				rec.ServeF32PerS = f32Rate
-				rec.ServeSpeedup = d64.Seconds() / d32.Seconds()
+			appendBenchEntry(b, "BENCH_predict32.json", benchEntry{
+				Bench: "serve_predict32", Arch: "FastArch", PoolFlows: total,
+				ServeF32PerS: f32Rate, ServeSpeedup: d64.Seconds() / d32.Seconds(),
 			})
 		}
 	}
