@@ -15,6 +15,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"flowgen/internal/tensor"
 )
 
 // benchEntry is one point on a benchmark trajectory. Rates are flows
@@ -26,6 +28,8 @@ type benchEntry struct {
 	GitSHA           string  `json:"git_sha"`
 	GOOS             string  `json:"goos"`
 	GOARCH           string  `json:"goarch"`
+	SIMD             string  `json:"simd"`                   // kernel tier active for the run
+	CPUFeatures      string  `json:"cpu_features,omitempty"` // detected vector features
 	Arch             string  `json:"arch"`
 	PoolFlows        int     `json:"pool_flows,omitempty"`
 	F64FlowsPerS     float64 `json:"f64_flows_per_sec,omitempty"`
@@ -38,6 +42,12 @@ type benchEntry struct {
 	MaxProbDrift     float64 `json:"max_abs_prob_drift_vs_f64,omitempty"`
 	ServeF32PerS     float64 `json:"serve_f32_flows_per_sec,omitempty"`
 	ServeSpeedup     float64 `json:"serve_speedup_f32_vs_f64,omitempty"`
+
+	// SIMD-tier fields (ISSUE 7): the same engine re-run with dispatch
+	// forced to the scalar kernels, and the resulting vector speedup.
+	ScalarF32FlowsPerS  float64 `json:"scalar_f32_flows_per_sec,omitempty"`
+	ScalarInt8FlowsPerS float64 `json:"scalar_int8_flows_per_sec,omitempty"`
+	SpeedupSIMDVsScalar float64 `json:"speedup_simd_vs_scalar,omitempty"`
 }
 
 // gitSHA returns the short commit hash of the working tree, or
@@ -56,6 +66,8 @@ func appendBenchEntry(b *testing.B, path string, e benchEntry) {
 	e.Time = time.Now().UTC().Format(time.RFC3339)
 	e.GitSHA = gitSHA()
 	e.GOOS, e.GOARCH = runtime.GOOS, runtime.GOARCH
+	e.SIMD = tensor.ActiveSIMD().String()
+	e.CPUFeatures = tensor.CPUFeatures()
 	var hist []json.RawMessage
 	if raw, err := os.ReadFile(path); err == nil {
 		if json.Unmarshal(raw, &hist) != nil {

@@ -1,6 +1,10 @@
 package nn
 
-import "math"
+import (
+	"math"
+
+	"flowgen/internal/tensor"
+)
 
 // Float32 activation kernels for the inference engine. The float64
 // training path calls math.Exp and friends; at inference scale the
@@ -80,33 +84,10 @@ func apply32(a Activation, xs []float32) {
 			}
 		}
 	case SELU:
-		const lambda = float32(seluLambda)
-		const alphaLambda = float32(seluAlpha * seluLambda)
-		for i, x := range xs {
-			if x >= 0 {
-				xs[i] = lambda * x
-				continue
-			}
-			if x < -87.33 {
-				xs[i] = -alphaLambda // e^x underflowed to 0
-				continue
-			}
-			// exp32 core inlined: SELU is the default architecture's
-			// activation and the call overhead is measurable at
-			// pool-prediction scale (x < 0 here, so k rounds toward -∞
-			// branch-free).
-			k := int32(exp32Log2e*x - 0.5)
-			r := x - float32(k)*exp32Ln2Hi
-			r -= float32(k) * exp32Ln2Lo
-			p := float32(1.0 / 720.0)
-			p = p*r + float32(1.0/120.0)
-			p = p*r + float32(1.0/24.0)
-			p = p*r + float32(1.0/6.0)
-			p = p*r + 0.5
-			p = p*r + 1
-			p = p*r + 1
-			xs[i] = alphaLambda * (p*math.Float32frombits(uint32(k+127)<<23) - 1)
-		}
+		// SELU is the default architecture's activation and the largest
+		// non-GEMM cost at pool-prediction scale, so it lives in tensor
+		// with an AVX2 kernel that is bit-identical to the scalar core.
+		tensor.SELU32(xs, float32(seluLambda), float32(seluAlpha*seluLambda))
 	case Softplus:
 		for i, x := range xs {
 			if x > 30 {

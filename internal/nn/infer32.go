@@ -41,6 +41,7 @@ type InferenceNet struct {
 	layers   []infer32Layer
 	colsLen  int // shared im2row/patch scratch, in float32s
 	maxBuf   int // largest per-sample layer output
+	simd     tensor.SIMD
 }
 
 // infer32Layer is one compiled forward-only stage. forward consumes the
@@ -77,6 +78,12 @@ func (t *InferenceNet) NewScratch() *Scratch32 {
 // NumClasses returns the logit width.
 func (t *InferenceNet) NumClasses() int { return t.classes }
 
+// SIMD names the kernel tier this snapshot was packed for ("none" or
+// "avx2"). The tier is fixed when the snapshot compiles: every packed
+// weight operand carries the layout of the level that was active then,
+// so later FLOWGEN_SIMD changes never affect an existing snapshot.
+func (t *InferenceNet) SIMD() string { return t.simd.String() }
+
 // InputShape returns the expected per-sample input image size.
 func (t *InferenceNet) InputShape() (h, w int) { return t.inH, t.inW }
 
@@ -108,7 +115,7 @@ func NewInferenceNet(n *Network, inH, inW int) (*InferenceNet, error) {
 	if inH < 1 || inW < 1 {
 		return nil, fmt.Errorf("nn: inference input %dx%d", inH, inW)
 	}
-	t := &InferenceNet{inH: inH, inW: inW, inSize: inH * inW}
+	t := &InferenceNet{inH: inH, inW: inW, inSize: inH * inW, simd: tensor.ActiveSIMD()}
 	// Walk the stack tracking the NHWC shape: spatial (h,w,c) until
 	// Flatten, flat feature count afterwards.
 	h, w, c := inH, inW, 1
@@ -310,9 +317,7 @@ func (l *conv32) forwardSparse(x []float32, n int, out []float32) []float32 {
 					}
 					wrow := l.wRows[(ky*l.kw+kx)*outC : (ky*l.kw+kx+1)*outC]
 					orow := o[(y*w+xx)*outC : (y*w+xx+1)*outC]
-					for i, wv := range wrow {
-						orow[i] += v * wv
-					}
+					tensor.Axpy32(orow, wrow, v)
 				}
 			}
 		}

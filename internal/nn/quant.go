@@ -52,6 +52,7 @@ type QuantNet struct {
 	mMax              int // per-row sums/scales capacity
 
 	compileTime time.Duration
+	simd        tensor.SIMD
 }
 
 // quant8Layer is one compiled stage after the leading bit conv. forward
@@ -131,6 +132,11 @@ func (t *QuantNet) InWords() int { return t.inWords }
 // (weight quantization + packing), surfaced by the serving stats.
 func (t *QuantNet) CompileTime() time.Duration { return t.compileTime }
 
+// SIMD names the kernel tier this snapshot was packed for ("none" or
+// "avx2"), fixed when the snapshot compiled. Both tiers produce
+// bit-identical int8 logits; the tier only changes throughput.
+func (t *QuantNet) SIMD() string { return t.simd.String() }
+
 // Forward8 runs the compiled stack over n bit-packed samples (n×InWords
 // words, from flow.EncodeBits) and returns the n×classes float32
 // logits, valid until the scratch's next use.
@@ -161,7 +167,7 @@ func NewQuantNet(n *Network, inH, inW int) (*QuantNet, error) {
 		return nil, fmt.Errorf("nn: quantized input %dx%d", inH, inW)
 	}
 	start := time.Now()
-	t := &QuantNet{inH: inH, inW: inW, inWords: (inH*inW + 63) / 64}
+	t := &QuantNet{inH: inH, inW: inW, inWords: (inH*inW + 63) / 64, simd: tensor.ActiveSIMD()}
 	h, w, c := inH, inW, 1
 	spatial := true
 	features := 0
@@ -376,9 +382,8 @@ func (l *bitConv8) forward8(bv []uint64, n int, s *Scratch8) []float32 {
 						}
 						wrow := c.wRows[(ky*c.kw+kx)*outC : (ky*c.kw+kx+1)*outC]
 						orow := o[(y*w+xx)*outC : (y*w+xx+1)*outC]
-						for i, wv := range wrow {
-							orow[i] += wv
-						}
+						// α = 1.0 multiplies exactly: same bits as a plain add.
+						tensor.Axpy32(orow, wrow, 1)
 					}
 				}
 			}

@@ -111,6 +111,23 @@ func (m *Model) QuantCompileTime() time.Duration {
 	return q.CompileTime()
 }
 
+// SIMD names the kernel tier of the model's compiled serving engine
+// ("none"/"avx2"), surfaced by /v1/stats. F64 models have no packed
+// snapshot and report "none".
+func (m *Model) SIMD() string {
+	switch m.Precision {
+	case nn.Int8:
+		if q, err := m.Quant(); err == nil {
+			return q.SIMD()
+		}
+	case nn.F32:
+		if t, err := m.Infer(); err == nil {
+			return t.SIMD()
+		}
+	}
+	return tensor.SIMDNone.String()
+}
+
 // EncodeLen returns the flattened one-hot encoding length of one flow.
 func (m *Model) EncodeLen() int { return m.Arch.InH * m.Arch.InW }
 

@@ -15,6 +15,7 @@ import (
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
 	"flowgen/internal/nn"
+	"flowgen/internal/tensor"
 )
 
 // ServerConfig tunes the HTTP serving layer.
@@ -519,6 +520,8 @@ type statsResponse struct {
 	Batchers      map[string]BatcherStats  `json:"batchers"`
 	Cache         CacheStats               `json:"cache"`
 	Reloads       int64                    `json:"reloads"`
+	SIMD          string                   `json:"simd"` // active tier for new snapshots
+	CPUFeatures   string                   `json:"cpu_features,omitempty"`
 	Models        map[string]ModelStats    `json:"models"`
 }
 
@@ -528,6 +531,7 @@ type statsResponse struct {
 type ModelStats struct {
 	Version           int     `json:"version"`
 	Precision         string  `json:"precision"`
+	SIMD              string  `json:"simd"` // kernel tier the snapshot was packed for
 	QuantCompileMicro float64 `json:"quant_compile_micro,omitempty"`
 }
 
@@ -538,12 +542,15 @@ func (s *Server) handleStats(*http.Request) (any, error) {
 		Batchers:      map[string]BatcherStats{},
 		Cache:         s.cache.Stats(),
 		Reloads:       s.Registry.Reloads(),
+		SIMD:          tensor.ActiveSIMD().String(),
+		CPUFeatures:   tensor.CPUFeatures(),
 		Models:        map[string]ModelStats{},
 	}
 	for _, m := range s.Registry.List() {
 		out.Models[m.Name] = ModelStats{
 			Version:           m.Version,
 			Precision:         m.Precision.String(),
+			SIMD:              m.SIMD(),
 			QuantCompileMicro: float64(m.QuantCompileTime().Nanoseconds()) / 1e3,
 		}
 	}

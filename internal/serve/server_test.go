@@ -15,6 +15,7 @@ import (
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
 	"flowgen/internal/nn"
+	"flowgen/internal/tensor"
 )
 
 // newTestServer stands up a server over one registered test model.
@@ -313,6 +314,9 @@ func TestServerHealthAndStats(t *testing.T) {
 	}
 	if ms.QuantCompileMicro <= 0 {
 		t.Fatalf("int8 model must report its quantized-snapshot compile time, got %+v", ms)
+	}
+	if want := tensor.ActiveSIMD().String(); stats.SIMD != want || ms.SIMD != want {
+		t.Fatalf("simd tier: top-level %q model %q, want %q", stats.SIMD, ms.SIMD, want)
 	}
 
 	// Unknown fields are rejected (strict decoding).

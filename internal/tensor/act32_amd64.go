@@ -1,0 +1,17 @@
+package tensor
+
+// selu32Kern8 (act32_amd64.s) applies SELU to vecs full 8-float groups
+// of x in place. consts points at the selu32Consts table with entries
+// 11..13 filled (λ, αλ, −αλ). The kernel uses separate VMULPS/VADDPS
+// steps — never FMA — so each lane reproduces selu32Scalar's float32
+// rounding exactly; outputs are bit-identical to the scalar path.
+//
+//go:noescape
+func selu32Kern8(x *float32, vecs int, consts *float32)
+
+// axpy32Kern8 (act32_amd64.s) computes dst[i] += alpha·src[i] over vecs
+// full 8-float groups. VMULPS then VADDPS — never FMA — so each lane
+// matches the scalar `dst[i] += alpha*src[i]` rounding bit-for-bit.
+//
+//go:noescape
+func axpy32Kern8(dst, src *float32, vecs int, alpha float32)

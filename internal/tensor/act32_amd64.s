@@ -1,0 +1,119 @@
+#include "textflag.h"
+
+// func selu32Kern8(x *float32, vecs int, consts *float32)
+//
+// 8-lane SELU: selu(x) = λ·x for x ≥ 0, λα·(eˣ−1) otherwise, with the
+// same range-reduced polynomial exp as the scalar core. Every step is a
+// separate multiply/add/subtract (no FMA), so each lane's rounding
+// sequence matches selu32Scalar exactly and the results are
+// bit-identical. Lanes below the underflow cutoff and non-negative
+// lanes compute garbage through the exp pipeline and are blended away,
+// exactly like the scalar early-outs.
+//
+// consts table byte offsets (see selu32Consts):
+//   0 log2e   4 0.5     8 ln2hi   12 ln2lo
+//  16 1/720  20 1/120  24 1/24    28 1/6
+//  32 1.0    36 cutoff 40 int127  44 λ
+//  48 αλ     52 −αλ
+TEXT ·selu32Kern8(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), SI
+	MOVQ vecs+8(FP), CX
+	MOVQ consts+16(FP), DX
+
+	VBROADCASTSS 0(DX), Y8     // log2e
+	VBROADCASTSS 4(DX), Y9     // 0.5
+	VBROADCASTSS 8(DX), Y10    // ln2hi
+	VBROADCASTSS 12(DX), Y11   // ln2lo
+	VBROADCASTSS 36(DX), Y12   // underflow cutoff
+	VPBROADCASTD 40(DX), Y13   // int32 127
+	VBROADCASTSS 44(DX), Y14   // λ
+	VBROADCASTSS 48(DX), Y15   // αλ
+	VXORPS       Y7, Y7, Y7    // 0.0
+
+loop:
+	VMOVUPS (SI), Y0           // x
+
+	// k = int32(log2e·x − 0.5), truncating like Go's conversion.
+	VMULPS     Y8, Y0, Y1
+	VSUBPS     Y9, Y1, Y1
+	VCVTTPS2DQ Y1, Y2          // k (int32 lanes)
+	VCVTDQ2PS  Y2, Y3          // float32(k)
+
+	// r = x − k·ln2hi − k·ln2lo.
+	VMULPS Y10, Y3, Y4
+	VSUBPS Y4, Y0, Y4
+	VMULPS Y11, Y3, Y5
+	VSUBPS Y5, Y4, Y4
+
+	// Degree-6 Horner, one rounded mul + rounded add per step.
+	VBROADCASTSS 16(DX), Y5    // p = 1/720
+	VBROADCASTSS 20(DX), Y6
+	VMULPS       Y4, Y5, Y5
+	VADDPS       Y6, Y5, Y5    // p·r + 1/120
+	VBROADCASTSS 24(DX), Y6
+	VMULPS       Y4, Y5, Y5
+	VADDPS       Y6, Y5, Y5    // p·r + 1/24
+	VBROADCASTSS 28(DX), Y6
+	VMULPS       Y4, Y5, Y5
+	VADDPS       Y6, Y5, Y5    // p·r + 1/6
+	VMULPS       Y4, Y5, Y5
+	VADDPS       Y9, Y5, Y5    // p·r + 0.5
+	VBROADCASTSS 32(DX), Y6    // 1.0
+	VMULPS       Y4, Y5, Y5
+	VADDPS       Y6, Y5, Y5    // p·r + 1
+	VMULPS       Y4, Y5, Y5
+	VADDPS       Y6, Y5, Y5    // p·r + 1
+
+	// αλ·(p·2^k − 1), the negative-branch result.
+	VPADDD Y13, Y2, Y2         // k + 127
+	VPSLLD $23, Y2, Y2         // exponent bits of 2^k
+	VMULPS Y2, Y5, Y5
+	VSUBPS Y6, Y5, Y5
+	VMULPS Y15, Y5, Y5
+
+	// Underflow lanes (x < cutoff) clamp to −αλ.
+	VCMPPS       $1, Y12, Y0, Y3 // LT_OS: x < cutoff
+	VBROADCASTSS 52(DX), Y6      // −αλ
+	VBLENDVPS    Y3, Y6, Y5, Y5
+
+	// Non-negative lanes take λ·x.
+	VMULPS    Y14, Y0, Y1
+	VCMPPS    $13, Y7, Y0, Y2  // GE_OS: x ≥ 0
+	VBLENDVPS Y2, Y1, Y5, Y5
+
+	VMOVUPS Y5, (SI)
+	ADDQ    $32, SI
+	DECQ    CX
+	JNZ     loop
+
+	VZEROUPPER
+	RET
+
+// func axpy32Kern8(dst, src *float32, vecs int, alpha float32)
+//
+// dst[i] += alpha·src[i] over vecs 8-float groups. One VMULPS and one
+// VADDPS per group — never FMA — so every lane performs exactly the
+// scalar loop's two rounded operations and the result is bit-identical
+// to the scalar tail.
+TEXT ·axpy32Kern8(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ vecs+16(FP), CX
+	VBROADCASTSS alpha+24(FP), Y2
+
+	TESTQ CX, CX
+	JZ    axpydone
+
+axpyloop:
+	VMOVUPS (SI), Y0
+	VMULPS  Y2, Y0, Y0         // alpha·src
+	VADDPS  (DI), Y0, Y0       // + dst
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     axpyloop
+
+axpydone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,49 @@
+package tensor
+
+import "strings"
+
+// cpuid executes CPUID with the given leaf/subleaf (implemented in
+// cpu_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0, the OS-enabled extended state mask.
+func xgetbv() (eax, edx uint32)
+
+var amd64AVX2, amd64FMA = detectAMD64()
+
+// detectAMD64 checks the full chain the AVX2/FMA kernels need: the
+// instruction sets themselves plus OSXSAVE and the OS actually saving
+// ymm state across context switches (XCR0 bits 1–2).
+func detectAMD64() (avx2, fma bool) {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false, false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	fma = ecx1&(1<<12) != 0
+	osxsave := ecx1&(1<<27) != 0
+	avx := ecx1&(1<<28) != 0
+	if !osxsave || !avx {
+		return false, false
+	}
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
+		return false, false // OS does not save XMM+YMM state
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	avx2 = ebx7&(1<<5) != 0
+	return avx2, fma
+}
+
+// hasAVX2FMA reports whether the AVX2/FMA microkernels can run here.
+func hasAVX2FMA() bool { return amd64AVX2 && amd64FMA }
+
+func cpuFeatureList() string {
+	var fs []string
+	if amd64AVX2 {
+		fs = append(fs, "avx2")
+	}
+	if amd64FMA {
+		fs = append(fs, "fma")
+	}
+	return strings.Join(fs, ",")
+}

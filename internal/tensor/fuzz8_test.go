@@ -11,20 +11,28 @@ import (
 // blocks — and requires (a) Gemm8Packed to match the plain-integer
 // reference (exact quantized dot products, identical dequantizing
 // float32 expression) bit-for-bit, (b) the strided variant to match the
-// contiguous one, and (c) the dequantized output to sit within the
-// analytic quantization-error bound of the exact f64 product, which
-// also pins it against the f32 kernels (both engines approximate the
-// same real product). The committed seed corpus under testdata/fuzz
-// pins the historical edge cases.
+// contiguous one, (c) on AVX2 hosts, the VPMADDUBSW vector kernel to be
+// bit-identical to the scalar SWAR kernel (integer accumulation is
+// exact, so both compute the same S and dequantize identically), and
+// (d) the dequantized output to sit within the analytic
+// quantization-error bound of the exact f64 product, which also pins it
+// against the f32 kernels (both engines approximate the same real
+// product). The committed seed corpus under testdata/fuzz pins the
+// historical edge cases.
 func FuzzInt8KernelsAgree(f *testing.F) {
-	f.Add(1, 1, 1, int64(1), 0)    // all-unit dims
-	f.Add(4, 4, 4, int64(2), 0)    // exact tile multiples
-	f.Add(5, 7, 9, int64(3), 3)    // stragglers on every dim + strides
-	f.Add(1, 5, 8, int64(4), 1)    // single-row A, padded final panel
-	f.Add(13, 2, 1, int64(5), 2)   // k=1: every lane but one is padding
-	f.Add(3, 4, 129, int64(6), 0)  // long contraction
-	f.Add(63, 31, 17, int64(7), 5) // co-prime everything
-	f.Add(2, 3, 7, int64(8), 4)    // odd m exercises the 1-row tail
+	f.Add(1, 1, 1, int64(1), 0)     // all-unit dims
+	f.Add(4, 4, 4, int64(2), 0)     // exact tile multiples
+	f.Add(5, 7, 9, int64(3), 3)     // stragglers on every dim + strides
+	f.Add(1, 5, 8, int64(4), 1)     // single-row A, padded final panel
+	f.Add(13, 2, 1, int64(5), 2)    // k=1: every lane but one is padding
+	f.Add(3, 4, 129, int64(6), 0)   // long contraction
+	f.Add(63, 31, 17, int64(7), 5)  // co-prime everything
+	f.Add(2, 3, 7, int64(8), 4)     // odd m exercises the 1-row tail
+	f.Add(7, 8, 13, int64(9), 0)    // 4-row blocks + 3-row tail, exact 8-col panel, k%4=1
+	f.Add(9, 9, 31, int64(10), 2)   // one column into the 2nd vector panel, k%4=3
+	f.Add(1, 24, 40, int64(11), 0)  // single-row A across three vector panels
+	f.Add(5, 15, 12, int64(12), 1)  // n one short of two panels, exact word groups
+	f.Add(4, 17, 100, int64(13), 0) // long contraction spilling into a 1-col panel
 
 	f.Fuzz(func(t *testing.T, m, n, k int, seed int64, extra int) {
 		if m < 1 || n < 1 || k < 1 || m > 64 || n > 64 || k > 256 {
@@ -55,7 +63,9 @@ func FuzzInt8KernelsAgree(f *testing.F) {
 		bias := randSlice32(rng, n)
 
 		qb, bScale := QuantizeSymmetric8(w, n, k)
-		pb := PackB8(w, n, k)
+		// Explicitly scalar-packed: the SWAR kernel is the oracle the
+		// vector section below must reproduce bit-for-bit.
+		pb := PackB8SIMD(w, n, k, SIMDNone)
 		words, aStride, sums, scales, qa := quantRows8(a, m, k, 0)
 		want := refQuantGemm8(m, n, k, qa, scales, qb, bScale, bias)
 
@@ -94,6 +104,33 @@ func FuzzInt8KernelsAgree(f *testing.F) {
 				if d := math.Abs(float64(c[at]) - exact); d > bound {
 					t.Fatalf("%dx%dx%d [%d,%d]: quantization error %g exceeds the analytic bound %g",
 						m, n, k, i, j, d, bound)
+				}
+			}
+		}
+
+		// Vector kernel cross-check (AVX2 hosts only): the VPMADDUBSW
+		// path computes the same exact integer dot products and runs the
+		// same dequantizing expression, so it must match the SWAR results
+		// bit-for-bit — contiguous and strided.
+		if SupportedSIMD() >= SIMDAVX2 {
+			vb := PackB8SIMD(w, n, k, SIMDAVX2)
+			if vb.SIMD() != SIMDAVX2 {
+				t.Fatalf("%dx%dx%d: PackB8SIMD(avx2) built a %s layout", m, n, k, vb.SIMD())
+			}
+			vec := make([]float32, m*n)
+			Gemm8Packed(m, n, words, aStride, sums, scales, vb, vec, n, bias)
+			vecStrided := make([]float32, m*cStride)
+			Gemm8Packed(m, n, wideWords, wideStride, wideSums, wideScales, vb, vecStrided, cStride, bias)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					at := i*n + j
+					if vec[at] != c[at] {
+						t.Fatalf("%dx%dx%d [%d,%d]: AVX2 Gemm8Packed %v != scalar %v", m, n, k, i, j, vec[at], c[at])
+					}
+					if vecStrided[i*cStride+j] != c[at] {
+						t.Fatalf("%dx%dx%d [%d,%d]: strided AVX2 Gemm8Packed %v != scalar %v",
+							m, n, k, i, j, vecStrided[i*cStride+j], c[at])
+					}
 				}
 			}
 		}

@@ -9,19 +9,29 @@ import (
 // FuzzF32KernelsAgree fuzzes the float32 inference kernels against a
 // float64 reference over arbitrary shapes — m/n/k of 1, sizes that are
 // not multiples of the register tiles, and strided final blocks — and
-// requires (a) every f32 kernel to agree with the others bit-for-bit
-// (they all promise the same ascending-k per-element accumulation) and
-// (b) the f32 results to sit within the sequential-summation error
-// bound of the f64 reference. The committed seed corpus under
+// requires (a) every scalar f32 kernel to agree with the others
+// bit-for-bit (they all promise the same ascending-k per-element
+// accumulation), (b) the f32 results to sit within the
+// sequential-summation error bound of the f64 reference, and (c) when
+// the host has AVX2/FMA, the vector kernel to be deterministic across
+// runs and layouts and to sit within the same γ_k bound. The vector
+// kernel is deliberately NOT required to match the scalar one bitwise:
+// FMA fuses the multiply-add rounding, so its (still deterministic)
+// chain rounds differently. The committed seed corpus under
 // testdata/fuzz pins the historical edge cases.
 func FuzzF32KernelsAgree(f *testing.F) {
-	f.Add(1, 1, 1, int64(1), 0)    // all-unit dims
-	f.Add(4, 4, 4, int64(2), 0)    // exact tile multiples
-	f.Add(5, 7, 9, int64(3), 3)    // stragglers on every dim + strides
-	f.Add(1, 5, 8, int64(4), 1)    // single-row A, padded final panel
-	f.Add(13, 2, 1, int64(5), 2)   // k=1 with a strided final block
-	f.Add(3, 4, 129, int64(6), 0)  // long contraction
-	f.Add(63, 31, 17, int64(7), 5) // co-prime everything
+	f.Add(1, 1, 1, int64(1), 0)     // all-unit dims
+	f.Add(4, 4, 4, int64(2), 0)     // exact tile multiples
+	f.Add(5, 7, 9, int64(3), 3)     // stragglers on every dim + strides
+	f.Add(1, 5, 8, int64(4), 1)     // single-row A, padded final panel
+	f.Add(13, 2, 1, int64(5), 2)    // k=1 with a strided final block
+	f.Add(3, 4, 129, int64(6), 0)   // long contraction
+	f.Add(63, 31, 17, int64(7), 5)  // co-prime everything
+	f.Add(7, 16, 32, int64(8), 0)   // 6-row blocks + 1-row tail, exact 16-wide panel
+	f.Add(9, 17, 24, int64(9), 2)   // m%6=3 tail, one column into the 2nd vector panel
+	f.Add(1, 33, 40, int64(10), 0)  // single-row A across three vector panels
+	f.Add(12, 15, 13, int64(11), 1) // n one short of a vector panel, odd k
+	f.Add(6, 48, 64, int64(12), 0)  // exact multiples of every vector tile dim
 
 	f.Fuzz(func(t *testing.T, m, n, k int, seed int64, extra int) {
 		if m < 1 || n < 1 || k < 1 || m > 64 || n > 64 || k > 256 {
@@ -42,8 +52,9 @@ func FuzzF32KernelsAgree(f *testing.F) {
 			func(i, l int) float32 { return a[i*k+l] },
 			func(l, j int) float32 { return w[j*k+l] })
 
-		// Packed kernel, contiguous.
-		pb := PackB32(w, n, k)
+		// Packed scalar kernel, contiguous (explicitly scalar-packed so
+		// the bit-equality checks are meaningful on AVX2 hosts).
+		pb := PackB32SIMD(w, n, k, SIMDNone)
 		packed := make([]float32, m*n)
 		Gemm32Packed(m, n, k, a, k, pb, packed, n)
 
@@ -90,6 +101,40 @@ func FuzzF32KernelsAgree(f *testing.F) {
 				if d := math.Abs(float64(ref) - want64[at]); d > f32Tol(k, abs[at]) {
 					t.Fatalf("%dx%dx%d [%d,%d]: f32 drift %g exceeds the γ_k bound %g",
 						m, n, k, i, j, d, f32Tol(k, abs[at]))
+				}
+			}
+		}
+
+		// Vector kernel cross-check (AVX2/FMA hosts only). Every output
+		// element is one fixed-lane ascending-k FMA chain, so the vector
+		// path must be bit-reproducible run-to-run and across C layouts —
+		// and the fused rounding still satisfies the γ_k bound (FMA error
+		// per step is no larger than mul-then-add).
+		if SupportedSIMD() >= SIMDAVX2 {
+			vb := PackB32SIMD(w, n, k, SIMDAVX2)
+			if vb.SIMD() != SIMDAVX2 {
+				t.Fatalf("%dx%dx%d: PackB32SIMD(avx2) built a %s layout", m, n, k, vb.SIMD())
+			}
+			vec := make([]float32, m*n)
+			Gemm32Packed(m, n, k, a, k, vb, vec, n)
+			again := make([]float32, m*n)
+			Gemm32Packed(m, n, k, a, k, vb, again, n)
+			vecStrided := make([]float32, m*cStride)
+			Gemm32Packed(m, n, k, wideA, aStride, vb, vecStrided, cStride)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					at := i*n + j
+					if vec[at] != again[at] {
+						t.Fatalf("%dx%dx%d [%d,%d]: AVX2 run-to-run drift %v != %v", m, n, k, i, j, vec[at], again[at])
+					}
+					if vecStrided[i*cStride+j] != vec[at] {
+						t.Fatalf("%dx%dx%d [%d,%d]: strided AVX2 %v != contiguous %v",
+							m, n, k, i, j, vecStrided[i*cStride+j], vec[at])
+					}
+					if d := math.Abs(float64(vec[at]) - want64[at]); d > f32Tol(k, abs[at]) {
+						t.Fatalf("%dx%dx%d [%d,%d]: AVX2 drift %g exceeds the γ_k bound %g",
+							m, n, k, i, j, d, f32Tol(k, abs[at]))
+					}
 				}
 			}
 		}

@@ -25,36 +25,68 @@ package tensor
 
 import "fmt"
 
-// packNR is the panel width of packed weight operands: the microkernel
-// accumulates one NR-wide line of C per k step. 4 keeps the 4×4
-// microkernel's 16 accumulators plus operand loads within what the
-// compiler holds in registers.
+// packNR is the scalar panel width of packed weight operands: the
+// scalar microkernel accumulates one NR-wide line of C per k step. 4
+// keeps the 4×4 microkernel's 16 accumulators plus operand loads
+// within what the compiler holds in registers.
 const packNR = 4
 
-// PackedB32 is a weight matrix packed for Gemm32Packed: Bᵀ (k×n) stored
-// as ⌈n/NR⌉ column panels of k contiguous NR-element lines.
+// packNRAVX2 is the AVX2 panel width: 16 float32 lanes = two 256-bit
+// FMA accumulator vectors per A row, matching the 6×16 microkernel in
+// gemm32_amd64.s.
+const packNRAVX2 = 16
+
+// PackedB32 is a weight matrix packed for Gemm32Packed: Bᵀ (k×n)
+// stored as ⌈n/NR⌉ column panels of k contiguous NR-element lines. The
+// panel width nr encodes the kernel the operand was packed for (4 →
+// portable scalar, 16 → AVX2/FMA), fixed at pack time.
 type PackedB32 struct {
 	N, K int
+	nr   int       // panel width: packNR (scalar) or packNRAVX2
 	data []float32 // ⌈n/NR⌉ panels × k lines × NR
+}
+
+// SIMD reports the dispatch level the operand was packed for — the
+// kernel every Gemm32Packed call on it will run.
+func (p *PackedB32) SIMD() SIMD {
+	if p.nr == packNRAVX2 {
+		return SIMDAVX2
+	}
+	return SIMDNone
 }
 
 // PackB32 packs a weight matrix stored n×k row-major (the out×in layout
 // of Dense and Conv2D parameters, used as B = Wᵀ in C += A·Wᵀ) into
-// cache-friendly panels. Pack once per model snapshot; the panels are
-// immutable and safe for concurrent reads.
+// cache-friendly panels for the active dispatch level. Pack once per
+// model snapshot; the panels are immutable and safe for concurrent
+// reads.
 func PackB32(w []float32, n, k int) *PackedB32 {
+	return PackB32SIMD(w, n, k, ActiveSIMD())
+}
+
+// PackB32SIMD packs for an explicit dispatch level (clamped to what
+// this CPU and build can execute) — the seam tests use to compare the
+// scalar and vector pipelines in one process.
+func PackB32SIMD(w []float32, n, k int, simd SIMD) *PackedB32 {
 	if len(w) < n*k {
 		panic(fmt.Sprintf("tensor: packing %dx%d from %d weights", n, k, len(w)))
 	}
-	panels := (n + packNR - 1) / packNR
-	p := &PackedB32{N: n, K: k, data: make([]float32, panels*k*packNR)}
+	if simd > SupportedSIMD() {
+		simd = SupportedSIMD()
+	}
+	nr := packNR
+	if simd == SIMDAVX2 {
+		nr = packNRAVX2
+	}
+	panels := (n + nr - 1) / nr
+	p := &PackedB32{N: n, K: k, nr: nr, data: make([]float32, panels*k*nr)}
 	for pi := 0; pi < panels; pi++ {
-		j0 := pi * packNR
-		panel := p.data[pi*k*packNR : (pi+1)*k*packNR]
+		j0 := pi * nr
+		panel := p.data[pi*k*nr : (pi+1)*k*nr]
 		for l := 0; l < k; l++ {
-			for jr := 0; jr < packNR; jr++ {
+			for jr := 0; jr < nr; jr++ {
 				if j := j0 + jr; j < n {
-					panel[l*packNR+jr] = w[j*k+l]
+					panel[l*nr+jr] = w[j*k+l]
 				}
 			}
 		}
@@ -64,10 +96,14 @@ func PackB32(w []float32, n, k int) *PackedB32 {
 
 // Gemm32Packed computes C += A·Bᵀ where A is m×k with rows laid out at
 // aStride (≥ k), B was packed by PackB32 from its n×k row-major form,
-// and C is m×n with rows at cStride (≥ n). The multiply is register
-// blocked: 4 A rows × one NR-wide B panel accumulate in 16 scalars per
-// pass, each a full ascending-k sum, so results are bit-identical for
-// any m/n position, stride, or batch sharding.
+// and C is m×n with rows at cStride (≥ n). The kernel is chosen by the
+// operand's pack-time layout: the scalar 4×4 register-tiled loop, or
+// the AVX2/FMA 6×16 microkernel on 16-wide panels. Either way each C
+// element is one fixed ascending-k accumulation chain — independent of
+// tile position, stride, or batch sharding — so results are
+// bit-reproducible per layout. The two layouts differ in rounding (FMA
+// fuses the multiply-add), so scalar and vector results agree only to
+// the γ_k bound, not bitwise; the fuzz gate pins both against f64.
 func Gemm32Packed(m, n, k int, a []float32, aStride int, b *PackedB32, c []float32, cStride int) {
 	if b.N != n || b.K != k {
 		panic(fmt.Sprintf("tensor: packed operand is %dx%d, GEMM wants %dx%d", b.N, b.K, n, k))
@@ -77,6 +113,10 @@ func Gemm32Packed(m, n, k int, a []float32, aStride int, b *PackedB32, c []float
 	}
 	if m > 0 && (len(a) < (m-1)*aStride+k || len(c) < (m-1)*cStride+n) {
 		panic(fmt.Sprintf("tensor: packed gemm %dx%dx%d over slices of %d/%d", m, n, k, len(a), len(c)))
+	}
+	if b.nr == packNRAVX2 {
+		gemm32PackedAVX2(m, n, k, a, aStride, b, c, cStride)
+		return
 	}
 	panels := (n + packNR - 1) / packNR
 	for pi := 0; pi < panels; pi++ {

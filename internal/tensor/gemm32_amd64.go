@@ -1,0 +1,67 @@
+package tensor
+
+// gemm32Kern6x16 is the AVX2/FMA microkernel (gemm32_amd64.s): it
+// computes the 6×16 tile Σ_l a_r[l]·panel[l·16+j] for six A rows
+// against one 16-wide packed panel and stores the 96 sums into tile.
+// Each tile element is a single 256-bit-lane FMA chain in ascending k
+// — no cross-lane reduction anywhere — so a row's results do not
+// depend on which tile slot it occupies, which is what keeps the
+// vector path bit-reproducible under worker sharding and m-tail
+// duplication. k may be 0 (the tile is zeroed).
+//
+//go:noescape
+func gemm32Kern6x16(a0, a1, a2, a3, a4, a5 *float32, k int, panel, tile *float32)
+
+// gemm32PackedAVX2 drives the 6×16 microkernel over a 16-wide packed
+// operand: panels outermost (one panel stays hot across the whole m
+// sweep), A rows in blocks of six. Tail rows re-use the last row's
+// pointer — the kernel computes duplicate sums that are simply not
+// written back, which costs a few lanes on the final block and keeps
+// every row on the identical FMA chain regardless of m. The tile is
+// folded into C in Go, masking the packed panel's zero-padded columns.
+func gemm32PackedAVX2(m, n, k int, a []float32, aStride int, b *PackedB32, c []float32, cStride int) {
+	if m == 0 {
+		return
+	}
+	if k == 0 {
+		// Degenerate contraction: fold exact zeros like the scalar path.
+		for i := 0; i < m; i++ {
+			ci := c[i*cStride : i*cStride+n]
+			for j := range ci {
+				ci[j] += 0
+			}
+		}
+		return
+	}
+	var tile [6 * packNRAVX2]float32
+	panels := (n + packNRAVX2 - 1) / packNRAVX2
+	row := func(i int) *float32 {
+		if i >= m {
+			i = m - 1
+		}
+		return &a[i*aStride]
+	}
+	for pi := 0; pi < panels; pi++ {
+		j0 := pi * packNRAVX2
+		jn := n - j0
+		if jn > packNRAVX2 {
+			jn = packNRAVX2
+		}
+		panel := &b.data[pi*k*packNRAVX2]
+		for i := 0; i < m; i += 6 {
+			rows := m - i
+			if rows > 6 {
+				rows = 6
+			}
+			gemm32Kern6x16(row(i), row(i+1), row(i+2), row(i+3), row(i+4), row(i+5),
+				k, panel, &tile[0])
+			for r := 0; r < rows; r++ {
+				dst := c[(i+r)*cStride+j0 : (i+r)*cStride+j0+jn]
+				src := tile[r*packNRAVX2 : r*packNRAVX2+jn]
+				for j, v := range src {
+					dst[j] += v
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+#include "textflag.h"
+
+// func gemm32Kern6x16(a0, a1, a2, a3, a4, a5 *float32, k int, panel, tile *float32)
+//
+// 6×16 AVX2/FMA microkernel: twelve 256-bit accumulators (6 rows × two
+// 8-float vectors), one panel line (two loads) and six scalar
+// broadcasts per k step. Every tile element is a single FMA chain in
+// ascending k within its fixed lane — there is no horizontal reduction
+// — so results are bit-reproducible for any tile position or sharding.
+TEXT ·gemm32Kern6x16(SB), NOSPLIT, $0-72
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ a4+32(FP), R12
+	MOVQ a5+40(FP), R13
+	MOVQ k+48(FP), CX
+	MOVQ panel+56(FP), SI
+	MOVQ tile+64(FP), DI
+
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+	VXORPS Y12, Y12, Y12
+	VXORPS Y13, Y13, Y13
+	VXORPS Y14, Y14, Y14
+	VXORPS Y15, Y15, Y15
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	VMOVUPS (SI), Y0           // panel line, columns 0–7
+	VMOVUPS 32(SI), Y1         // panel line, columns 8–15
+
+	VBROADCASTSS (R8), Y2
+	VFMADD231PS Y0, Y2, Y4     // row 0: acc += a0[l] * b
+	VFMADD231PS Y1, Y2, Y5
+	VBROADCASTSS (R9), Y3
+	VFMADD231PS Y0, Y3, Y6     // row 1
+	VFMADD231PS Y1, Y3, Y7
+	VBROADCASTSS (R10), Y2
+	VFMADD231PS Y0, Y2, Y8     // row 2
+	VFMADD231PS Y1, Y2, Y9
+	VBROADCASTSS (R11), Y3
+	VFMADD231PS Y0, Y3, Y10    // row 3
+	VFMADD231PS Y1, Y3, Y11
+	VBROADCASTSS (R12), Y2
+	VFMADD231PS Y0, Y2, Y12    // row 4
+	VFMADD231PS Y1, Y2, Y13
+	VBROADCASTSS (R13), Y3
+	VFMADD231PS Y0, Y3, Y14    // row 5
+	VFMADD231PS Y1, Y3, Y15
+
+	ADDQ $64, SI
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	ADDQ $4, R12
+	ADDQ $4, R13
+	DECQ CX
+	JNZ  loop
+
+done:
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	VMOVUPS Y6, 64(DI)
+	VMOVUPS Y7, 96(DI)
+	VMOVUPS Y8, 128(DI)
+	VMOVUPS Y9, 160(DI)
+	VMOVUPS Y10, 192(DI)
+	VMOVUPS Y11, 224(DI)
+	VMOVUPS Y12, 256(DI)
+	VMOVUPS Y13, 288(DI)
+	VMOVUPS Y14, 320(DI)
+	VMOVUPS Y15, 352(DI)
+	VZEROUPPER
+	RET

@@ -65,13 +65,25 @@ func TestGemm32PackedMatchesReference(t *testing.T) {
 			func(l, j int) float32 { return w[j*k+l] })
 
 		got := make([]float32, m*n)
-		Gemm32Packed(m, n, k, a, k, PackB32(w, n, k), got, n)
+		Gemm32Packed(m, n, k, a, k, PackB32SIMD(w, n, k, SIMDNone), got, n)
 		for i := range got {
 			if got[i] != want32[i] {
 				t.Fatalf("Gemm32Packed %dx%dx%d [%d]: %v, want bit-exact %v", m, n, k, i, got[i], want32[i])
 			}
 			if d := math.Abs(float64(got[i]) - want64[i]); d > f32Tol(k, abs[i]) {
 				t.Fatalf("Gemm32Packed %dx%dx%d [%d]: f64 drift %g > bound", m, n, k, i, d)
+			}
+		}
+
+		// The AVX2/FMA kernel rounds differently (fused multiply-add) but
+		// must satisfy the same γ_k bound against the f64 reference.
+		if SupportedSIMD() >= SIMDAVX2 {
+			vec := make([]float32, m*n)
+			Gemm32Packed(m, n, k, a, k, PackB32SIMD(w, n, k, SIMDAVX2), vec, n)
+			for i := range vec {
+				if d := math.Abs(float64(vec[i]) - want64[i]); d > f32Tol(k, abs[i]) {
+					t.Fatalf("AVX2 Gemm32Packed %dx%dx%d [%d]: f64 drift %g > bound", m, n, k, i, d)
+				}
 			}
 		}
 

@@ -9,20 +9,23 @@
 //     (q ∈ [-63, 63], scale = maxabs/63, QuantizeSymmetric8); flow
 //     activations quantize per sample the same way. 7 bits — not 8 —
 //     is what makes the SWAR trick below exact.
+//
 //   - Quantized operands are stored BIASED (u = q + 64 ∈ [1, 127]) and
 //     packed four-per-uint64 into 16-bit lanes. A single 64-bit integer
 //     multiply of an A word against a lane-REVERSED B word then computes
 //     a 4-term dot product in its top lane:
 //
-//       (Σᵢ aᵢ·2¹⁶ⁱ)·(Σⱼ b₃₋ⱼ·2¹⁶ʲ) → lane 3 = Σᵢ aᵢ·bᵢ
+//     (Σᵢ aᵢ·2¹⁶ⁱ)·(Σⱼ b₃₋ⱼ·2¹⁶ʲ) → lane 3 = Σᵢ aᵢ·bᵢ
 //
 //     exactly, because every lane sum stays under 2¹⁶ (4·127² = 64516),
 //     so nothing carries between lanes. One IMUL + shift + add replaces
 //     four multiply-adds.
+//
 //   - The bias introduced by the offset encoding is removed with the
 //     standard zero-point correction: Σ(uₐ−64)(u_b−64) = U − 64·ΣUₐ −
 //     64·ΣU_b + 4096·k, with the row/column byte sums computed once at
 //     quantization/pack time.
+//
 //   - The epilogue dequantizes with the two scales and fuses the bias
 //     add, writing float32 output directly (C = sₐ·s_b·S + bias).
 //
@@ -149,9 +152,17 @@ func QuantizeU8(src []float32, dst []byte) float32 {
 	return maxAbs / QMax8
 }
 
+// packN8AVX2 is the AVX2 int8 panel width: 8 columns × 4 k-steps per
+// 32-byte group, matching the 4×8 VPMADDUBSW microkernel in
+// gemm8_amd64.s.
+const packN8AVX2 = 8
+
 // PackedB8 is a weight matrix quantized (per output channel) and packed
 // for Gemm8Packed: ⌈n/4⌉ column panels, each holding ⌈k/4⌉ groups of 4
-// lane-reversed uint64 words (one per panel column). Pack once per
+// lane-reversed uint64 words (one per panel column). When packed for
+// AVX2 it additionally carries the byte-interleaved panel layout the
+// VPMADDUBSW microkernel streams (bdata) plus the per-column signed
+// code sums its zero-point correction needs (qsum). Pack once per
 // model snapshot; immutable and safe for concurrent reads.
 type PackedB8 struct {
 	N, K  int
@@ -159,21 +170,42 @@ type PackedB8 struct {
 	data  []uint64  // ⌈n/4⌉ panels × kw groups × 4 words
 	Scale []float32 // per-column dequantization scale
 	corr  []int32   // per-column zero-point correction: 4096·4kw − 64·ΣU_b
+
+	simd  SIMD
+	bdata []byte  // AVX2: ⌈n/8⌉ panels × kw groups × 32 bytes (signed codes)
+	qsum  []int32 // AVX2: per-column Σ q_b (signed), for S = ACC − 64·Σq_b
 }
 
+// SIMD reports the dispatch level the operand was packed for — the
+// kernel every Gemm8Packed call on it will run.
+func (p *PackedB8) SIMD() SIMD { return p.simd }
+
 // PackB8 quantizes a weight matrix stored n×k row-major (used as
-// B = Wᵀ in C = A·Wᵀ) per output channel and packs it into the SWAR
-// panel layout. Padding (k to a multiple of 4, n to a multiple of the
-// panel width) uses the biased zero code, which the per-column
-// correction term accounts for exactly.
+// B = Wᵀ in C = A·Wᵀ) per output channel and packs it for the active
+// dispatch level. Padding (k to a multiple of 4, n to a multiple of the
+// panel width) uses the biased zero code in the SWAR layout — which the
+// per-column correction term accounts for exactly — and the signed zero
+// code in the AVX2 layout, where it contributes exact zeros.
 func PackB8(w []float32, n, k int) *PackedB8 {
+	return PackB8SIMD(w, n, k, ActiveSIMD())
+}
+
+// PackB8SIMD packs for an explicit dispatch level (clamped to what this
+// CPU and build can execute). The SWAR layout is always built — it is
+// the portable fallback and the differential oracle — and the AVX2
+// layout rides alongside when requested; integer accumulation is exact
+// in both, so the two kernels are bit-identical on the same operand.
+func PackB8SIMD(w []float32, n, k int, simd SIMD) *PackedB8 {
 	if k > maxQuantK {
 		panic(fmt.Sprintf("tensor: int8 contraction depth %d exceeds the int32 accumulator bound %d", k, maxQuantK))
+	}
+	if simd > SupportedSIMD() {
+		simd = SupportedSIMD()
 	}
 	q, scales := QuantizeSymmetric8(w, n, k)
 	kw := (k + 3) / 4
 	panels := (n + 3) / 4
-	p := &PackedB8{N: n, K: k, kw: kw, Scale: scales,
+	p := &PackedB8{N: n, K: k, kw: kw, Scale: scales, simd: simd,
 		data: make([]uint64, panels*kw*4), corr: make([]int32, n)}
 	for j := 0; j < n; j++ {
 		sum := int32(0)
@@ -195,6 +227,34 @@ func PackB8(w []float32, n, k int) *PackedB8 {
 	}
 	// n padding: columns beyond N keep all-zero words; their lanes
 	// contribute nothing and the kernel never writes them back.
+	if simd == SIMDAVX2 {
+		// Byte-interleaved AVX2 panels: group g of panel pi holds the 4
+		// signed codes of k-steps 4g..4g+3 for each of the panel's 8
+		// columns, so one 32-byte load feeds a whole VPMADDUBSW. k and n
+		// padding store signed zero, which multiplies to exact zero —
+		// no correction needed beyond the per-column Σ q_b.
+		panels8 := (n + packN8AVX2 - 1) / packN8AVX2
+		p.bdata = make([]byte, panels8*kw*32)
+		p.qsum = make([]int32, n)
+		for j := 0; j < n; j++ {
+			qs := int32(0)
+			for l := 0; l < k; l++ {
+				qs += int32(q[j*k+l])
+			}
+			p.qsum[j] = qs
+			base := (j / packN8AVX2) * kw * 32
+			off := (j % packN8AVX2) * 4
+			for g := 0; g < kw; g++ {
+				for r := 0; r < 4; r++ {
+					var qv int8
+					if l := 4*g + r; l < k {
+						qv = q[j*k+l]
+					}
+					p.bdata[base+g*32+off+r] = byte(qv)
+				}
+			}
+		}
+	}
 	return p
 }
 
@@ -463,6 +523,13 @@ func Gemm8Packed(m, n int, a []uint64, aStride int, aSum []int32, aScale []float
 	}
 	if bias != nil && len(bias) < n {
 		panic("tensor: gemm8 bias too short")
+	}
+	if b.simd == SIMDAVX2 {
+		// The vector kernel recovers the same exact S(i,j) and runs the
+		// identical dequantizing expression, so its output is
+		// bit-identical to the SWAR path below (fuzz-gated).
+		gemm8PackedAVX2(m, n, a, aStride, aScale, b, c, cStride, bias)
+		return
 	}
 	panels := (n + 3) / 4
 	for pi := 0; pi < panels; pi++ {

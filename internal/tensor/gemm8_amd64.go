@@ -1,0 +1,139 @@
+package tensor
+
+import "sync"
+
+// gemm8Kern4x8 is the AVX2 int8 microkernel (gemm8_amd64.s): it
+// accumulates ACC(r,j) = Σ_l uA_r[l]·qB_j[l] for four byte-dense A
+// rows against one byte-interleaved 8-column panel, via
+// VPMADDUBSW (unsigned A × signed B, pairwise int16) → VPMADDWD
+// (fold pairs to int32) → VPADDD. Integer accumulation is exact, so
+// lane order is irrelevant to the result — the vector path is
+// bit-identical to the SWAR reference by construction. groups is the
+// number of 4-k-step panel groups (= ⌈k/4⌉); the 32 int32 sums land in
+// acc. groups must be ≥ 1.
+//
+//go:noescape
+func gemm8Kern4x8(a0, a1, a2, a3 *byte, groups int, panel *byte, acc *int32)
+
+// pack8Words (gemm8_amd64.s) repacks blocks full 8-word groups of SWAR
+// A words into 32 byte-dense codes each via VPACKUSWB; tails are the
+// caller's job.
+//
+//go:noescape
+func pack8Words(src *uint64, blocks int, dst *byte)
+
+// dequant8Tile4x8 (gemm8_amd64.s) runs the dequantizing epilogue over
+// one 4×8 accumulator tile with the exact scalar float32 operation
+// sequence (bit-identical to dequantRow8's expression).
+//
+//go:noescape
+func dequant8Tile4x8(acc *int32, corr *int32, scales, bias, rowScales, tile *float32)
+
+// a8Scratch pools the byte-dense A repack buffers so per-GEMM calls in
+// the zero-alloc inference hot path stay allocation-free in steady
+// state.
+var a8Scratch = sync.Pool{New: func() any { return new([]byte) }}
+
+// gemm8PackedAVX2 drives the 4×8 microkernel over an AVX2-packed
+// operand. The word-packed A rows (16-bit SWAR lanes) are first
+// repacked once into byte-dense rows — an O(m·k) pass amortized over
+// the O(m·n·k) multiply — then each 4-row block streams every panel.
+// Tail rows re-use the last row's pointer (exact duplicate sums,
+// never written back). The epilogue recovers the exact quantized dot
+// product S = ACC − 64·Σ qB and applies the identical dequantizing
+// expression to dequantRow8, which is what makes the vector path
+// bit-identical to the scalar one.
+func gemm8PackedAVX2(m, n int, a []uint64, aStride int, aScale []float32,
+	b *PackedB8, c []float32, cStride int, bias []float32) {
+	if m == 0 || n == 0 {
+		return
+	}
+	kw := b.kw
+	rowBytes := 4 * kw
+	bufp := a8Scratch.Get().(*[]byte)
+	buf := *bufp
+	if cap(buf) < m*rowBytes {
+		buf = make([]byte, m*rowBytes)
+	} else {
+		buf = buf[:m*rowBytes]
+	}
+	blocks := kw / 8
+	for i := 0; i < m; i++ {
+		src := a[i*aStride : i*aStride+kw]
+		dst := buf[i*rowBytes : (i+1)*rowBytes]
+		if blocks > 0 {
+			pack8Words(&src[0], blocks, &dst[0])
+		}
+		for g := 8 * blocks; g < kw; g++ {
+			wv := src[g]
+			dst[4*g] = byte(wv)
+			dst[4*g+1] = byte(wv >> 16)
+			dst[4*g+2] = byte(wv >> 32)
+			dst[4*g+3] = byte(wv >> 48)
+		}
+	}
+	var acc [4 * packN8AVX2]int32
+	var tile [4 * packN8AVX2]float32
+	var corr [packN8AVX2]int32
+	var scales, biases, rowScales [packN8AVX2]float32
+	panels := (n + packN8AVX2 - 1) / packN8AVX2
+	row := func(i int) *byte {
+		if i >= m {
+			i = m - 1
+		}
+		return &buf[i*rowBytes]
+	}
+	for pi := 0; pi < panels; pi++ {
+		j0 := pi * packN8AVX2
+		jn := n - j0
+		if jn > packN8AVX2 {
+			jn = packN8AVX2
+		}
+		// Per-panel epilogue operands; padding columns compute garbage in
+		// the tile and are never copied out.
+		for jj := 0; jj < jn; jj++ {
+			corr[jj] = quantBias * b.qsum[j0+jj]
+			scales[jj] = b.Scale[j0+jj]
+			if bias != nil {
+				biases[jj] = bias[j0+jj]
+			}
+		}
+		for i := 0; i < m; i += 4 {
+			rows := m - i
+			if rows > 4 {
+				rows = 4
+			}
+			if kw > 0 {
+				gemm8Kern4x8(row(i), row(i+1), row(i+2), row(i+3), kw,
+					&b.bdata[pi*kw*32], &acc[0])
+			} else {
+				acc = [4 * packN8AVX2]int32{} // degenerate k: exact zero sums
+			}
+			if bias != nil {
+				for r := 0; r < rows; r++ {
+					rowScales[r] = aScale[i+r]
+				}
+				dequant8Tile4x8(&acc[0], &corr[0], &scales[0], &biases[0], &rowScales[0], &tile[0])
+				for r := 0; r < rows; r++ {
+					ri := i + r
+					copy(c[ri*cStride+j0:ri*cStride+j0+jn], tile[r*packN8AVX2:r*packN8AVX2+jn])
+				}
+				continue
+			}
+			// bias == nil keeps the scalar epilogue: appending +0.0 in the
+			// vector kernel could flip a −0 result to +0.
+			for r := 0; r < rows; r++ {
+				ri := i + r
+				ci := c[ri*cStride+j0 : ri*cStride+j0+jn]
+				rowScale := aScale[ri]
+				for jj := 0; jj < jn; jj++ {
+					s := acc[r*packN8AVX2+jj] - corr[jj]
+					// Pinned to dequantRow8's expression bit-for-bit.
+					ci[jj] = rowScale * scales[jj] * float32(s)
+				}
+			}
+		}
+	}
+	*bufp = buf
+	a8Scratch.Put(bufp)
+}

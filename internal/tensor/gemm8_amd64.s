@@ -1,0 +1,161 @@
+#include "textflag.h"
+
+// func gemm8Kern4x8(a0, a1, a2, a3 *byte, groups int, panel *byte, acc *int32)
+//
+// 4×8 AVX2 int8 microkernel. Per group (4 k-steps): one 32-byte panel
+// load feeds all four rows; each row broadcasts its 4 activation bytes
+// (VPBROADCASTD) and runs VPMADDUBSW (unsigned activations × signed
+// weight codes → pairwise int16, no saturation possible: 2·127·63 =
+// 16002 < 2^15) then VPMADDWD against int16 ones (fold pairs →
+// per-column int32) and VPADDD into the row accumulator. All
+// arithmetic is exact integers, so the result is independent of
+// evaluation order and bit-identical to the scalar SWAR kernel.
+TEXT ·gemm8Kern4x8(SB), NOSPLIT, $0-56
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ groups+32(FP), CX
+	MOVQ panel+40(FP), SI
+	MOVQ acc+48(FP), DI
+
+	VPCMPEQD Y0, Y0, Y0        // all-ones
+	VPSRLW   $15, Y0, Y0       // int16 lanes = 1
+	VPXOR    Y4, Y4, Y4
+	VPXOR    Y5, Y5, Y5
+	VPXOR    Y6, Y6, Y6
+	VPXOR    Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	VMOVDQU (SI), Y1           // 8 columns × 4 signed weight codes
+
+	VPBROADCASTD (R8), Y2      // row 0: 4 biased activation codes
+	VPMADDUBSW   Y1, Y2, Y3    // unsigned(A) × signed(B), pairwise int16
+	VPMADDWD     Y0, Y3, Y3    // fold pairs → per-column int32
+	VPADDD       Y3, Y4, Y4
+
+	VPBROADCASTD (R9), Y2      // row 1
+	VPMADDUBSW   Y1, Y2, Y3
+	VPMADDWD     Y0, Y3, Y3
+	VPADDD       Y3, Y5, Y5
+
+	VPBROADCASTD (R10), Y2     // row 2
+	VPMADDUBSW   Y1, Y2, Y3
+	VPMADDWD     Y0, Y3, Y3
+	VPADDD       Y3, Y6, Y6
+
+	VPBROADCASTD (R11), Y2     // row 3
+	VPMADDUBSW   Y1, Y2, Y3
+	VPMADDWD     Y0, Y3, Y3
+	VPADDD       Y3, Y7, Y7
+
+	ADDQ $32, SI
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ CX
+	JNZ  loop
+
+done:
+	VMOVDQU Y4, (DI)
+	VMOVDQU Y5, 32(DI)
+	VMOVDQU Y6, 64(DI)
+	VMOVDQU Y7, 96(DI)
+	VZEROUPPER
+	RET
+
+// func pack8Words(src *uint64, blocks int, dst *byte)
+//
+// Repacks SWAR words (4 biased codes in 16-bit lanes per uint64) into
+// byte-dense rows, 8 words → 32 bytes per step: two 256-bit loads give
+// 32 int16 codes, VPACKUSWB narrows them to bytes (codes ∈ [1,127], so
+// unsigned saturation never fires), and VPERMQ undoes the pack's
+// per-lane interleave to restore ascending k order.
+TEXT ·pack8Words(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ blocks+8(FP), CX
+	MOVQ dst+16(FP), DI
+
+	TESTQ CX, CX
+	JZ    packdone
+
+packloop:
+	VMOVDQU   (SI), Y0
+	VMOVDQU   32(SI), Y1
+	VPACKUSWB Y1, Y0, Y0       // bytes [w0-1, w4-5 | w2-3, w6-7]
+	VPERMQ    $0xD8, Y0, Y0    // qwords 0,2,1,3 → ascending k
+	VMOVDQU   Y0, (DI)
+	ADDQ      $64, SI
+	ADDQ      $32, DI
+	DECQ      CX
+	JNZ       packloop
+
+packdone:
+	VZEROUPPER
+	RET
+
+// func dequant8Tile4x8(acc *int32, corr *int32, scales, bias, rowScales, tile *float32)
+//
+// Dequantizing epilogue for one 4×8 accumulator tile: per element,
+// s = acc − corr[j] (the 64·Σq_b zero-point correction, exact int32),
+// then tile = (rowScale·scale[j])·float32(s) + bias[j] with one rounded
+// operation per step — the identical float32 sequence to the scalar
+// dequantRow8 expression, so outputs are bit-identical.
+TEXT ·dequant8Tile4x8(SB), NOSPLIT, $0-48
+	MOVQ acc+0(FP), SI
+	MOVQ corr+8(FP), AX
+	MOVQ scales+16(FP), BX
+	MOVQ bias+24(FP), DX
+	MOVQ rowScales+32(FP), R8
+	MOVQ tile+40(FP), DI
+
+	VMOVDQU (AX), Y8           // corr[j] = 64·Σ q_b
+	VMOVUPS (BX), Y9           // per-column weight scales
+	VMOVUPS (DX), Y10          // per-column bias
+
+	// Row 0.
+	VMOVDQU      (SI), Y0
+	VPSUBD       Y8, Y0, Y0    // s = acc − corr (exact)
+	VCVTDQ2PS    Y0, Y0        // float32(s), round-to-nearest like Go
+	VBROADCASTSS (R8), Y1
+	VMULPS       Y9, Y1, Y1    // rowScale·scale[j]
+	VMULPS       Y0, Y1, Y1    // ·float32(s)
+	VADDPS       Y10, Y1, Y1   // +bias[j]
+	VMOVUPS      Y1, (DI)
+
+	// Row 1.
+	VMOVDQU      32(SI), Y0
+	VPSUBD       Y8, Y0, Y0
+	VCVTDQ2PS    Y0, Y0
+	VBROADCASTSS 4(R8), Y1
+	VMULPS       Y9, Y1, Y1
+	VMULPS       Y0, Y1, Y1
+	VADDPS       Y10, Y1, Y1
+	VMOVUPS      Y1, 32(DI)
+
+	// Row 2.
+	VMOVDQU      64(SI), Y0
+	VPSUBD       Y8, Y0, Y0
+	VCVTDQ2PS    Y0, Y0
+	VBROADCASTSS 8(R8), Y1
+	VMULPS       Y9, Y1, Y1
+	VMULPS       Y0, Y1, Y1
+	VADDPS       Y10, Y1, Y1
+	VMOVUPS      Y1, 64(DI)
+
+	// Row 3.
+	VMOVDQU      96(SI), Y0
+	VPSUBD       Y8, Y0, Y0
+	VCVTDQ2PS    Y0, Y0
+	VBROADCASTSS 12(R8), Y1
+	VMULPS       Y9, Y1, Y1
+	VMULPS       Y0, Y1, Y1
+	VADDPS       Y10, Y1, Y1
+	VMOVUPS      Y1, 96(DI)
+
+	VZEROUPPER
+	RET

@@ -75,3 +75,72 @@ func BenchmarkGemm32Packed(b *testing.B) {
 		})
 	}
 }
+
+// simdBenchShapes are the (m, n, k) shapes the registered architectures
+// actually emit through the packed inference GEMMs: FastArch's interior
+// conv block, locally-connected chunk and dense chunks, plus
+// PaperArch's heavyweight conv, local and dense stages.
+var simdBenchShapes = [][3]int{
+	{2304, 8, 144},    // FastArch conv2 forward (block·HW × OutC × K)
+	{64, 8, 32},       // FastArch local position (chunk × OutC × K)
+	{64, 32, 32},      // FastArch hidden dense (chunk × Out × In)
+	{64, 7, 32},       // FastArch logits dense
+	{121, 200, 14400}, // PaperArch conv2 forward (HW × OutC × K)
+	{64, 16, 1800},    // PaperArch local position
+	{64, 128, 1024},   // PaperArch hidden dense
+}
+
+// BenchmarkGemm32PackedSIMD compares the scalar 4×4 f32 kernel against
+// the AVX2/FMA 6×16 kernel on the same operands — the microkernel half
+// of the BenchmarkPredictPool32 speedup. Sub-benchmarks that need an
+// absent vector unit are skipped.
+func BenchmarkGemm32PackedSIMD(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range simdBenchShapes {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice32(rng, m*k)
+		w := randSlice32(rng, n*k)
+		c := make([]float32, m*n)
+		for _, simd := range []SIMD{SIMDNone, SIMDAVX2} {
+			b.Run(fmt.Sprintf("%s/%dx%dx%d", simd, m, n, k), func(b *testing.B) {
+				if simd > SupportedSIMD() {
+					b.Skipf("%s not supported on this CPU", simd)
+				}
+				pb := PackB32SIMD(w, n, k, simd)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					Gemm32Packed(m, n, k, a, k, pb, c, n)
+				}
+				b.ReportMetric(float64(2*m*n*k)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+			})
+		}
+	}
+}
+
+// BenchmarkGemm8PackedSIMD compares the scalar SWAR int8 kernel against
+// the AVX2 VPMADDUBSW kernel on the same operands (bit-identical
+// outputs, gated by FuzzInt8KernelsAgree).
+func BenchmarkGemm8PackedSIMD(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range simdBenchShapes {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice32(rng, m*k)
+		w := randSlice32(rng, n*k)
+		bias := randSlice32(rng, n)
+		c := make([]float32, m*n)
+		words, aStride, sums, scales, _ := quantRows8(a, m, k, 0)
+		for _, simd := range []SIMD{SIMDNone, SIMDAVX2} {
+			b.Run(fmt.Sprintf("%s/%dx%dx%d", simd, m, n, k), func(b *testing.B) {
+				if simd > SupportedSIMD() {
+					b.Skipf("%s not supported on this CPU", simd)
+				}
+				pb := PackB8SIMD(w, n, k, simd)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					Gemm8Packed(m, n, words, aStride, sums, scales, pb, c, n, bias)
+				}
+				b.ReportMetric(float64(2*m*n*k)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+			})
+		}
+	}
+}

@@ -59,6 +59,14 @@ func BenchmarkPredictPool32(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Scalar-kernel baseline: the same snapshot compiled with dispatch
+	// forced off, isolating the vector tier's contribution (ISSUE 7).
+	prev := tensor.SetSIMD(tensor.SIMDNone)
+	snet, err := nn.NewInferenceNet(net, h, w)
+	tensor.SetSIMD(prev)
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	flows := space.RandomUnique(newRand(3), poolN)
 	hw := h * w
@@ -67,16 +75,33 @@ func BenchmarkPredictPool32(b *testing.B) {
 		f.EncodeInto(space, x.Data[i*hw:(i+1)*hw])
 	}
 
+	// A pool pass is a short parallel region, so a single wall reading
+	// carries scheduler noise; each engine is timed as the best of three
+	// passes per iteration (identical treatment for all engines, same as
+	// the int8 benchmark).
+	minDur := func(f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < 3; r++ {
+			t0 := time.Now()
+			f()
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t0 := time.Now()
-		probs64 := net.PredictBatch(x, 0)
-		d64 := time.Since(t0)
-
-		t1 := time.Now()
-		probs32 := inet.PredictBatch32(x, 0)
-		d32 := time.Since(t1)
+		var probs64, probs32 [][]float64
+		d64 := minDur(func() { probs64 = net.PredictBatch(x, 0) })
+		d32 := minDur(func() { probs32 = inet.PredictBatch32(x, 0) })
+		// The scalar pass also forces dispatch off at run time so the
+		// elementwise kernels (SELU) drop to scalar with the GEMMs.
+		prevSIMD := tensor.SetSIMD(tensor.SIMDNone)
+		dsc := minDur(func() { snet.PredictBatch32(x, 0) })
+		tensor.SetSIMD(prevSIMD)
 
 		ties, mismatches := 0, 0
 		for s := 0; s < poolN; s++ {
@@ -97,13 +122,17 @@ func BenchmarkPredictPool32(b *testing.B) {
 
 		f64Rate := poolN / d64.Seconds()
 		f32Rate := poolN / d32.Seconds()
+		scRate := poolN / dsc.Seconds()
 		b.ReportMetric(f32Rate, "flows/s")
 		b.ReportMetric(f32Rate/f64Rate, "x-vs-f64")
+		b.ReportMetric(f32Rate/scRate, "x-vs-scalar")
 		if i == b.N-1 {
 			appendBenchEntry(b, "BENCH_predict32.json", benchEntry{
 				Bench: "predict_pool32", Arch: "FastArch", PoolFlows: poolN,
 				F64FlowsPerS: f64Rate, F32FlowsPerS: f32Rate,
 				SpeedupF32VsF64: f32Rate / f64Rate, ArgmaxTies: ties,
+				ScalarF32FlowsPerS:  scRate,
+				SpeedupSIMDVsScalar: f32Rate / scRate,
 			})
 		}
 	}

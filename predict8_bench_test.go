@@ -44,6 +44,15 @@ func BenchmarkPredictPoolInt8(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Scalar-SWAR baseline: the same quantized snapshot compiled with
+	// dispatch forced off, isolating the vector tier's contribution
+	// (ISSUE 7). Both tiers produce bit-identical logits.
+	prev := tensor.SetSIMD(tensor.SIMDNone)
+	sqnet, err := nn.NewQuantNet(net, h, w)
+	tensor.SetSIMD(prev)
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	flows := space.RandomUnique(newRand(3), poolN)
 	hw := h * w
@@ -74,6 +83,11 @@ func BenchmarkPredictPoolInt8(b *testing.B) {
 		d64 := minDur(func() { probs64 = net.PredictBatch(x, 0) })
 		d32 := minDur(func() { probs32 = inet.PredictBatch32(x, 0) })
 		d8 := minDur(func() { probs8 = qnet.PredictBatch8(x, 0) })
+		// The scalar pass also forces dispatch off at run time so the
+		// elementwise kernels (SELU) drop to scalar with the GEMMs.
+		prevSIMD := tensor.SetSIMD(tensor.SIMDNone)
+		dsc := minDur(func() { sqnet.PredictBatch8(x, 0) })
+		tensor.SetSIMD(prevSIMD)
 
 		ties, mis64, mis32, maxDrift := 0, 0, 0, 0.0
 		for s := 0; s < poolN; s++ {
@@ -108,9 +122,11 @@ func BenchmarkPredictPoolInt8(b *testing.B) {
 		f64Rate := poolN / d64.Seconds()
 		f32Rate := poolN / d32.Seconds()
 		i8Rate := poolN / d8.Seconds()
+		scRate := poolN / dsc.Seconds()
 		b.ReportMetric(i8Rate, "flows/s")
 		b.ReportMetric(i8Rate/f32Rate, "x-vs-f32")
 		b.ReportMetric(i8Rate/f64Rate, "x-vs-f64")
+		b.ReportMetric(i8Rate/scRate, "x-vs-scalar")
 		if i == b.N-1 {
 			appendBenchEntry(b, "BENCH_predict_int8.json", benchEntry{
 				Bench: "predict_pool_int8", Arch: "FastArch", PoolFlows: poolN,
@@ -119,6 +135,8 @@ func BenchmarkPredictPoolInt8(b *testing.B) {
 				SpeedupInt8VsF32: i8Rate / f32Rate,
 				SpeedupInt8VsF64: i8Rate / f64Rate,
 				ArgmaxTies:       ties, MaxProbDrift: maxDrift,
+				ScalarInt8FlowsPerS: scRate,
+				SpeedupSIMDVsScalar: i8Rate / scRate,
 			})
 		}
 	}
