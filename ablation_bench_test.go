@@ -1,4 +1,4 @@
-// Ablation benchmarks for the framework's design choices (DESIGN.md §6):
+// Ablation benchmarks for the framework's design choices (DESIGN.md §7):
 // the contribution of the zero-cost transformation variants to the QoR
 // spread, incremental retraining versus one-shot training, and the
 // paper's skewed percentile determinators versus uniform classes.

@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index and
+// evaluation (see DESIGN.md §5 for the experiment index and
 // EXPERIMENTS.md for recorded results). Each benchmark prints the series
 // the corresponding figure plots.
 //

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"flowgen/internal/circuits"
+	"flowgen/internal/cliflags"
 	"flowgen/internal/exp"
 	"flowgen/internal/flow"
 	"flowgen/internal/nn"
@@ -26,17 +27,17 @@ import (
 func main() {
 	var (
 		expName    = flag.String("exp", "optimizers", "optimizers|kernels|activations|quality")
-		designName = flag.String("design", "alu8", "design under test")
+		designName = cliflags.Design(flag.CommandLine, "alu8", "design under test")
 		metricName = flag.String("metric", "area", "area|delay")
-		m          = flag.Int("m", 2, "flow repetitions m (paper: 4)")
+		m          = cliflags.M(flag.CommandLine, 2)
 		trainN     = flag.Int("train", 300, "training flows (paper: 10000)")
 		poolN      = flag.Int("pool", 300, "sample pool flows (paper: 100000)")
 		steps      = flag.Int("steps", 300, "CNN steps per retraining round")
 		numOut     = flag.Int("out", 0, "flows to select (0 = pool/25)")
-		seed       = flag.Int64("seed", 11, "random seed")
-		memo       = flag.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
-		predW      = flag.Int("predworkers", 0, "pool-prediction workers (0 = GOMAXPROCS)")
-		precision  = flag.String("precision", "f32", "pool-prediction engine: f32 (packed fast path), int8 (quantized, fastest) or f64 (training numerics)")
+		seed       = cliflags.Seed(flag.CommandLine, 11)
+		memo       = cliflags.Memo(flag.CommandLine)
+		predW      = cliflags.Workers(flag.CommandLine, "predworkers", "pool-prediction workers (0 = GOMAXPROCS)")
+		precision  = cliflags.Precision(flag.CommandLine, "pool-prediction engine: f32 (packed fast path), int8 (quantized, fastest) or f64 (training numerics)")
 	)
 	flag.Parse()
 
@@ -71,11 +72,7 @@ func main() {
 	}
 
 	base := exp.DefaultRunConfig(space, metric)
-	prec, err := nn.ParsePrecision(*precision)
-	if err != nil {
-		fatal(err)
-	}
-	base.Precision = prec
+	base.Precision = *precision
 	base.StepsPerRound = *steps
 	base.PredictWorkers = *predW
 	if *numOut > 0 {

@@ -20,9 +20,9 @@ import (
 	"flowgen/internal/analysis"
 	"flowgen/internal/blif"
 	"flowgen/internal/circuits"
+	"flowgen/internal/cliflags"
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
-	"flowgen/internal/nn"
 	"flowgen/internal/rewrite"
 	"flowgen/internal/serve"
 	"flowgen/internal/synth"
@@ -32,17 +32,17 @@ import (
 
 func main() {
 	var (
-		designName = flag.String("design", "alu16", "design to optimize (see -list)")
+		designName = cliflags.Design(flag.CommandLine, "alu16", "design to optimize (see -list)")
 		objective  = flag.String("objective", "area", "QoR objective: area, delay, or area+delay")
-		m          = flag.Int("m", 4, "flow repetitions m (paper: 4)")
+		m          = cliflags.M(flag.CommandLine, 4)
 		trainN     = flag.Int("train", 300, "labeled training flows to collect")
 		poolN      = flag.Int("pool", 600, "unlabeled sample flows to classify")
 		outN       = flag.Int("out", 20, "angel/devil flows to emit")
 		steps      = flag.Int("steps", 400, "CNN steps per retraining round")
-		seed       = flag.Int64("seed", 1, "random seed")
+		seed       = cliflags.Seed(flag.CommandLine, 1)
 		optimizer  = flag.String("optimizer", "RMSProp", "SGD|Momentum|AdaGrad|RMSProp|Ftrl")
-		precision  = flag.String("precision", "f32", "pool-prediction engine: f32 (packed fast path), int8 (quantized, fastest) or f64 (training numerics)")
-		memo       = flag.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
+		precision  = cliflags.Precision(flag.CommandLine, "pool-prediction engine: f32 (packed fast path), int8 (quantized, fastest) or f64 (training numerics)")
+		memo       = cliflags.Memo(flag.CommandLine)
 		paper      = flag.Bool("paper", false, "use the paper's full-scale parameters")
 		verify     = flag.Bool("verify", false, "synthesize the generated flows and report accuracy")
 		list       = flag.Bool("list", false, "list available designs and exit")
@@ -83,11 +83,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Optimizer = *optimizer
-	prec, err := nn.ParsePrecision(*precision)
-	if err != nil {
-		fatal(err)
-	}
-	cfg.Precision = prec
+	cfg.Precision = *precision
 	switch *objective {
 	case "area":
 		cfg.Metrics = []synth.Metric{synth.MetricArea}

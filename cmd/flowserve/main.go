@@ -10,14 +10,26 @@
 //	flowserve -model alu16.flowmodel -precision int8  # quantized snapshot, fastest
 //	flowserve -model alu16.flowmodel -precision f64   # opt out of the f32 fast path
 //
+// With -loop, the server closes the paper's flow-development cycle in
+// the background: flows observed on the serving endpoints (plus
+// explored samples) are labeled with true QoR against the named design,
+// journaled, and the model is periodically retrained and re-published
+// with a zero-downtime version bump.
+//
+//	flowserve -model alu16.flowmodel -loop alu16 -retrain-every 200
+//
 // Endpoints:
 //
-//	GET  /healthz            liveness + model count
-//	GET  /v1/models          registered models (name, version, space, params)
-//	POST /v1/models/reload   {"name":"alu16"} — or {} to reload all file-backed
-//	POST /v1/predict         {"model":"","flows":["balance; rewrite; ..."]}
-//	POST /v1/recommend       {"top_k":10,"pool":100000,"seed":7} or {"flows":[...]}
-//	GET  /v1/stats           per-endpoint latency, batcher and cache counters
+//	GET  /healthz                    liveness + model count
+//	GET  /v1/models                  registered models (name, version, space, params)
+//	GET  /v1/models/{name}           one model's metadata
+//	POST /v1/models/{name}/reload    reload one model from its file
+//	POST /v1/models/reload           {"name":"alu16"} — or {} to reload all file-backed
+//	POST /v1/predict                 {"model":"","flows":["balance; rewrite; ..."]}
+//	POST /v1/recommend               {"top_k":10,"pool":100000,"seed":7} or {"flows":[...]}
+//	POST /v1/label                   {"flow":"...","area":812,"delay":403} — external ground truth
+//	GET  /v1/loop/status             labeler/retrainer counters (404 unless -loop)
+//	GET  /v1/stats                   per-endpoint latency, batcher, cache and loop counters
 package main
 
 import (
@@ -34,8 +46,11 @@ import (
 	"syscall"
 	"time"
 
-	"flowgen/internal/nn"
+	"flowgen/internal/circuits"
+	"flowgen/internal/cliflags"
+	"flowgen/internal/loop"
 	"flowgen/internal/serve"
+	"flowgen/internal/synth"
 )
 
 func main() {
@@ -48,18 +63,21 @@ func main() {
 		maxBatch  = flag.Int("maxbatch", 64, "max coalesced requests per forward pass")
 		maxWait   = flag.Duration("maxwait", 500*time.Microsecond, "max time the first request of a batch waits for companions")
 		queueCap  = flag.Int("queue", 1024, "bounded prediction queue depth (beyond it requests are shed)")
-		workers   = flag.Int("workers", 0, "prediction workers per batch (0 = GOMAXPROCS)")
+		workers   = cliflags.Workers(flag.CommandLine, "workers", "prediction workers per batch (0 = GOMAXPROCS)")
 		cacheN    = flag.Int("cache", 4096, "scored-flow cache capacity (0 disables)")
 		maxPool   = flag.Int("maxpool", 200000, "largest recommendation pool one request may score")
-		precision = flag.String("precision", "f32", "inference engine: f32 (packed fast path), int8 (quantized snapshot, fastest) or f64 (training numerics)")
+		precision = cliflags.Precision(flag.CommandLine, "inference engine: f32 (packed fast path), int8 (quantized snapshot, fastest) or f64 (training numerics)")
 		watch     = flag.Duration("watch", 0, "poll model files at this interval and hot-reload on change (0 disables)")
+
+		loopDesign   = flag.String("loop", "", "run the continuous flow-development loop against this design: label observed flows with true QoR, retrain and re-publish the default model in the background")
+		retrainEvery = flag.Int("retrain-every", 200, "new labels between background retraining rounds")
+		labelWorkers = cliflags.Workers(flag.CommandLine, "label-workers", "synthesis workers labeling queued flows (0 = half the CPUs, so labeling never starves serving)")
+		journalPath  = flag.String("journal", "", "labeled-flow journal path (default <model path>.labels; in-memory for a pathless -bootstrap model)")
+		seed         = cliflags.Seed(flag.CommandLine, 1)
 	)
 	flag.Parse()
 
-	prec, err := nn.ParsePrecision(*precision)
-	if err != nil {
-		fatal(err)
-	}
+	prec := *precision
 	reg := serve.NewRegistry()
 	load := func(path string) error {
 		m, err := serve.LoadModelFile(path)
@@ -117,6 +135,42 @@ func main() {
 	cfg.MaxPool = *maxPool
 	srv := serve.NewServer(reg, cfg)
 	defer srv.Close()
+
+	if *loopDesign != "" {
+		d, err := circuits.ByName(*loopDesign)
+		if err != nil {
+			fatal(err)
+		}
+		target, err := reg.Get("") // loop retrains the default model
+		if err != nil {
+			fatal(err)
+		}
+		journal := *journalPath
+		if journal == "" && target.Path != "" {
+			journal = target.Path + ".labels"
+		}
+		lp, err := loop.New(reg, synth.NewEngine(d.Build(), target.Space), loop.Config{
+			ModelName:    target.Name,
+			RetrainEvery: *retrainEvery,
+			LabelWorkers: *labelWorkers,
+			JournalPath:  journal,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer lp.Close()
+		loopCtx, stopLoop := context.WithCancel(context.Background())
+		defer stopLoop()
+		go lp.Run(loopCtx)
+		srv.SetLoop(lp)
+		persist := journal
+		if persist == "" {
+			persist = "in-memory"
+		}
+		fmt.Fprintf(os.Stderr, "flowserve: loop enabled — labeling %s flows on %q, retraining every %d labels (journal: %s)\n",
+			target.Name, *loopDesign, *retrainEvery, persist)
+	}
 
 	if *watch > 0 {
 		watcher := serve.NewWatcher(reg)

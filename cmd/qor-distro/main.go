@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"flowgen/internal/circuits"
+	"flowgen/internal/cliflags"
 	"flowgen/internal/exp"
 	"flowgen/internal/flow"
 	"flowgen/internal/lutmap"
@@ -25,14 +26,14 @@ import (
 
 func main() {
 	var (
-		designName = flag.String("design", "alu8", "design to synthesize")
+		designName = cliflags.Design(flag.CommandLine, "alu8", "design to synthesize")
 		flows      = flag.Int("flows", 500, "number of unique random flows (paper: 50000)")
-		m          = flag.Int("m", 4, "flow repetitions m")
-		seed       = flag.Int64("seed", 1, "random seed")
+		m          = cliflags.M(flag.CommandLine, 4)
+		seed       = cliflags.Seed(flag.CommandLine, 1)
 		bins       = flag.Int("bins", 20, "histogram bins per axis")
 		csvPath    = flag.String("csv", "", "write the 2-D histogram CSV here")
 		lutK       = flag.Int("lut", 0, "also report k-LUT mapping QoR of the raw design (0 = off)")
-		memo       = flag.Bool("memo", true, "prefix-memoized batch evaluation (false = independent per-flow synthesis)")
+		memo       = cliflags.Memo(flag.CommandLine)
 		all        = flag.Bool("all", false, "exhaustively synthesize the entire flow space instead of sampling (small spaces only, e.g. -m 1)")
 	)
 	flag.Parse()

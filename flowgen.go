@@ -26,6 +26,7 @@ import (
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
 	"flowgen/internal/label"
+	"flowgen/internal/loop"
 	"flowgen/internal/nn"
 	"flowgen/internal/serve"
 	"flowgen/internal/synth"
@@ -68,6 +69,20 @@ type (
 	// QuantNet is the int8 quantized forward-only snapshot — the fastest
 	// inference tier, compiled once per model version.
 	QuantNet = nn.QuantNet
+	// Predictor is the one inference surface every precision tier
+	// implements; consumers hold a Predictor and never switch on
+	// precision (DESIGN.md §3.5).
+	Predictor = nn.Predictor
+	// PredictSource feeds encoded inputs to a Predictor in whichever
+	// numeric form its tier consumes (f64, f32 or packed bits).
+	PredictSource = nn.Source
+	// Loop is the continuous flow-development loop: online labeling,
+	// journaled corpus, gated background retraining (DESIGN.md §4).
+	Loop = loop.Loop
+	// LoopConfig tunes the loop; zero values select documented defaults.
+	LoopConfig = loop.Config
+	// LoopStatus is one consistent snapshot of the loop's counters.
+	LoopStatus = loop.Status
 	// ServeModel is one immutable servable classifier snapshot.
 	ServeModel = serve.Model
 	// ServeRegistry holds named servable models with hot-reload.
@@ -111,6 +126,19 @@ func NewInferenceNet(net *nn.Network, inH, inW int) (*InferenceNet, error) {
 // inference engine for the given input image shape.
 func NewQuantNet(net *nn.Network, inH, inW int) (*QuantNet, error) {
 	return nn.NewQuantNet(net, inH, inW)
+}
+
+// NewPredictor compiles a trained network into the inference engine for
+// the requested precision tier, behind the uniform Predictor surface.
+func NewPredictor(net *nn.Network, p Precision, inH, inW int) (Predictor, error) {
+	return nn.NewPredictor(net, p, inH, inW)
+}
+
+// NewLoop builds the continuous flow-development loop over a serving
+// registry and a labeling engine; drive it with its Run method and wire
+// it into a ServeServer with SetLoop (cmd/flowserve -loop does both).
+func NewLoop(reg *ServeRegistry, eng *Engine, cfg LoopConfig) (*Loop, error) {
+	return loop.New(reg, eng, cfg)
 }
 
 // NewServeWatcher baselines the registry's file-backed models for

@@ -1,0 +1,101 @@
+// Package cliflags holds the flag definitions shared by the flowgen
+// command-line tools (flowgen, flowexp, flowserve, qor-distro), so
+// -precision, -design, -seed, -m, -memo and the worker-count flags
+// parse and document identically everywhere instead of being
+// copy-pasted per command. Helpers take the FlagSet explicitly;
+// commands pass flag.CommandLine.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"flowgen/internal/circuits"
+	"flowgen/internal/nn"
+)
+
+// PrecisionUsage is the default -precision help text; commands with a
+// more specific engine description pass their own.
+const PrecisionUsage = "inference engine: f32 (packed fast path), int8 (quantized, fastest) or f64 (training numerics)"
+
+// precisionValue adapts nn.Precision to flag.Value, so a bad
+// -precision argument fails at flag.Parse with the parser's usage
+// output instead of deep inside main.
+type precisionValue struct{ p *nn.Precision }
+
+func (v precisionValue) String() string {
+	if v.p == nil {
+		return nn.F32.String()
+	}
+	return v.p.String()
+}
+
+func (v precisionValue) Set(s string) error {
+	p, err := nn.ParsePrecision(s)
+	if err != nil {
+		return err
+	}
+	*v.p = p
+	return nil
+}
+
+// Precision registers -precision (default f32) and returns the parsed
+// engine selection. An empty usage selects PrecisionUsage.
+func Precision(fs *flag.FlagSet, usage string) *nn.Precision {
+	if usage == "" {
+		usage = PrecisionUsage
+	}
+	p := nn.F32
+	fs.Var(precisionValue{&p}, "precision", usage)
+	return &p
+}
+
+// designValue validates -design against the circuit generator registry
+// at parse time, so an unknown design fails before any work starts.
+type designValue struct{ name *string }
+
+func (v designValue) String() string {
+	if v.name == nil {
+		return ""
+	}
+	return *v.name
+}
+
+func (v designValue) Set(s string) error {
+	if _, err := circuits.ByName(s); err != nil {
+		return fmt.Errorf("%v (known: %s)", err, strings.Join(circuits.Names(), ", "))
+	}
+	*v.name = s
+	return nil
+}
+
+// Design registers -design with the given default and usage, validated
+// against the circuit registry at parse time.
+func Design(fs *flag.FlagSet, def, usage string) *string {
+	name := def
+	fs.Var(designValue{&name}, "design", usage)
+	return &name
+}
+
+// Seed registers -seed with the given default.
+func Seed(fs *flag.FlagSet, def int64) *int64 {
+	return fs.Int64("seed", def, "random seed")
+}
+
+// M registers -m, the flow-repetition count, with the given default.
+func M(fs *flag.FlagSet, def int) *int {
+	return fs.Int("m", def, "flow repetitions m (paper: 4)")
+}
+
+// Memo registers -memo (default true).
+func Memo(fs *flag.FlagSet) *bool {
+	return fs.Bool("memo", true, "prefix-memoized QoR collection (false = independent per-flow synthesis)")
+}
+
+// Workers registers a worker-count flag under the given name, where
+// the zero default means "pick for me" (GOMAXPROCS, or the consumer's
+// own documented default).
+func Workers(fs *flag.FlagSet, name, usage string) *int {
+	return fs.Int(name, 0, usage)
+}

@@ -1,0 +1,100 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"flowgen/internal/nn"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestPrecisionFlag(t *testing.T) {
+	fs := newFS()
+	p := Precision(fs, "")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *p != nn.F32 {
+		t.Fatalf("default precision %v, want f32", *p)
+	}
+
+	for arg, want := range map[string]nn.Precision{"int8": nn.Int8, "f64": nn.F64, "float32": nn.F32} {
+		fs := newFS()
+		p := Precision(fs, "")
+		if err := fs.Parse([]string{"-precision", arg}); err != nil {
+			t.Fatalf("-precision %s: %v", arg, err)
+		}
+		if *p != want {
+			t.Fatalf("-precision %s parsed to %v, want %v", arg, *p, want)
+		}
+	}
+
+	// A bad value fails at flag.Parse, not later in main.
+	fs = newFS()
+	Precision(fs, "")
+	err := fs.Parse([]string{"-precision", "f16"})
+	if err == nil || !strings.Contains(err.Error(), "f16") {
+		t.Fatalf("bad precision must fail at Parse, got %v", err)
+	}
+}
+
+func TestDesignFlag(t *testing.T) {
+	fs := newFS()
+	d := Design(fs, "alu16", "design under test")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *d != "alu16" {
+		t.Fatalf("default design %q", *d)
+	}
+
+	fs = newFS()
+	d = Design(fs, "alu16", "design under test")
+	if err := fs.Parse([]string{"-design", "mont8"}); err != nil {
+		t.Fatal(err)
+	}
+	if *d != "mont8" {
+		t.Fatalf("parsed design %q", *d)
+	}
+
+	// Unknown designs are rejected at Parse with the known names listed.
+	fs = newFS()
+	Design(fs, "alu16", "design under test")
+	err := fs.Parse([]string{"-design", "pentium4"})
+	if err == nil || !strings.Contains(err.Error(), "alu16") {
+		t.Fatalf("unknown design must fail at Parse listing known names, got %v", err)
+	}
+}
+
+func TestScalarFlags(t *testing.T) {
+	fs := newFS()
+	seed := Seed(fs, 11)
+	m := M(fs, 2)
+	memo := Memo(fs)
+	w := Workers(fs, "predworkers", "pool-prediction workers")
+	if err := fs.Parse([]string{"-seed", "42", "-m", "3", "-memo=false", "-predworkers", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 42 || *m != 3 || *memo || *w != 5 {
+		t.Fatalf("parsed seed=%d m=%d memo=%v workers=%d", *seed, *m, *memo, *w)
+	}
+
+	fs = newFS()
+	seed = Seed(fs, 11)
+	m = M(fs, 2)
+	memo = Memo(fs)
+	w = Workers(fs, "workers", "prediction workers")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 11 || *m != 2 || !*memo || *w != 0 {
+		t.Fatalf("defaults seed=%d m=%d memo=%v workers=%d", *seed, *m, *memo, *w)
+	}
+}

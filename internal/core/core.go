@@ -335,6 +335,18 @@ func EncodeFillBits(space flow.Space, pool []flow.Flow) func(dst []uint64, lo, h
 	}
 }
 
+// FlowSource bundles the three flow-encoding fills into one nn.Source,
+// so any nn.Predictor — whatever its precision tier — streams a flow
+// pool through its native representation with no conversion round trip.
+func FlowSource(space flow.Space, pool []flow.Flow, h, w int) nn.Source {
+	hw := h * w
+	return nn.Source{
+		Fill64:   EncodeFill(space, pool, hw),
+		Fill32:   EncodeFill32(space, pool, hw),
+		FillBits: EncodeFillBits(space, pool),
+	}
+}
+
 // ScoreFlows pairs pool flows with their predicted distributions.
 func ScoreFlows(pool []flow.Flow, probs [][]float64) []ScoredFlow {
 	out := make([]ScoredFlow, len(pool))
@@ -349,22 +361,21 @@ func ScoreFlows(pool []flow.Flow, probs [][]float64) []ScoredFlow {
 // prediction worker pool (GOMAXPROCS workers). Encodings are streamed
 // into chunk-sized worker buffers instead of materializing one
 // pool-sized tensor (~115 MB at the paper's 100k-flow pool), so peak
-// memory is flat in the pool size. Under the default cfg.Precision the
-// network is snapshotted once into the packed float32 engine
-// (nn.InferenceNet) and the pool streams through PredictStream32;
-// nn.Int8 quantizes the snapshot (nn.QuantNet) and streams bit-packed
-// encodings; nn.F64 keeps the full-precision path. Either way results
-// are deterministic regardless of sharding.
+// memory is flat in the pool size. cfg.Precision selects the engine
+// through nn.NewPredictor (f32 packed snapshot by default, int8
+// quantized snapshot, or the full-precision f64 clone pool); either way
+// results are deterministic regardless of sharding.
 func (fw *Framework) PredictPool(net *nn.Network, pool []flow.Flow) []ScoredFlow {
 	cfg := fw.Cfg
 	if len(pool) == 0 {
 		return nil
 	}
-	hw := cfg.EncodeH * cfg.EncodeW
-	probs, err := nn.PredictStreamPrec(context.Background(), net, cfg.Precision,
-		len(pool), cfg.EncodeH, cfg.EncodeW, 0,
-		EncodeFill(cfg.Space, pool, hw), EncodeFill32(cfg.Space, pool, hw),
-		EncodeFillBits(cfg.Space, pool))
+	pred, err := nn.NewPredictor(net, cfg.Precision, cfg.EncodeH, cfg.EncodeW)
+	if err != nil {
+		panic("core: pool prediction failed: " + err.Error())
+	}
+	probs, err := pred.PredictStream(context.Background(), len(pool), 0,
+		FlowSource(cfg.Space, pool, cfg.EncodeH, cfg.EncodeW))
 	if err != nil {
 		panic("core: pool prediction failed: " + err.Error())
 	}

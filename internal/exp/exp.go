@@ -255,9 +255,12 @@ func GeneratedAccuracy(b *Bundle, net *nn.Network, model *label.Model, rc RunCon
 }
 
 func predictPool(b *Bundle, net *nn.Network, h, w, workers int, prec nn.Precision) []core.ScoredFlow {
-	probs, err := nn.PredictStreamPrec(context.Background(), net, prec, len(b.Pool), h, w, workers,
-		core.EncodeFill(b.Space, b.Pool, h*w), core.EncodeFill32(b.Space, b.Pool, h*w),
-		core.EncodeFillBits(b.Space, b.Pool))
+	pred, err := nn.NewPredictor(net, prec, h, w)
+	if err != nil {
+		panic("exp: pool prediction failed: " + err.Error())
+	}
+	probs, err := pred.PredictStream(context.Background(), len(b.Pool), workers,
+		core.FlowSource(b.Space, b.Pool, h, w))
 	if err != nil {
 		panic("exp: pool prediction failed: " + err.Error())
 	}

@@ -1,0 +1,631 @@
+// Package loop closes the paper's flow-development cycle inside the
+// serving process: flows observed on the serving endpoints (plus
+// server-sampled exploration flows) are labeled with true QoR through
+// the prefix-memoized synthesis engine, grow a persistent training
+// corpus, and a background retrainer periodically warm-starts a
+// candidate network from the serving one, trains it on the grown
+// corpus, gates it on held-out accuracy and publishes it through
+// serve.Registry — a zero-downtime version bump under live traffic.
+//
+// Two goroutines run under Loop.Run:
+//
+//   - the labeler drains a bounded candidate queue in batches, tops
+//     batches up with exploration samples, and evaluates them through
+//     synth.Engine.EvaluateAll with a bounded worker count so labeling
+//     never starves serving;
+//   - the retrainer fires on a sample-count trigger (RetrainEvery new
+//     labels) or a wall-clock cadence (RetrainInterval), refits the
+//     class determinators on the full corpus, trains a warm-started
+//     candidate, and publishes only when the candidate's held-out
+//     accuracy is within GateSlack of the serving model's — a
+//     regressing candidate is rejected and logged, never served.
+package loop
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowgen/internal/flow"
+	"flowgen/internal/label"
+	"flowgen/internal/nn"
+	"flowgen/internal/opt"
+	"flowgen/internal/serve"
+	"flowgen/internal/synth"
+	"flowgen/internal/train"
+)
+
+// Config tunes the loop. Zero values select the documented defaults.
+type Config struct {
+	// ModelName is the registry entry the loop retrains (defaults to
+	// the registry default model).
+	ModelName string
+	// Metrics and Percentiles define the labeling model refit on every
+	// retrain (defaults: MetricArea, label.DefaultPercentiles). The
+	// resulting class count must match the model architecture's.
+	Metrics     []synth.Metric
+	Percentiles []float64
+
+	// QueueCap bounds the candidate queue; observations beyond it are
+	// dropped (and counted) rather than blocking serving. Default 4096.
+	QueueCap int
+	// LabelWorkers bounds the synthesis engine's parallelism while the
+	// loop labels, so labeling never starves serving. Default
+	// max(1, NumCPU/2).
+	LabelWorkers int
+	// LabelBatch caps how many flows one labeler round evaluates
+	// (larger batches amortize the engine's prefix memoization).
+	// Default 32.
+	LabelBatch int
+	// ExploreBatch is how many server-sampled exploration flows top up
+	// a labeler round when the queue runs dry, so the corpus keeps
+	// growing without traffic. Default 8.
+	ExploreBatch int
+	// GatherWait bounds how long a labeler round waits for queued
+	// flows before falling back to exploration. Default 100ms.
+	GatherWait time.Duration
+
+	// RetrainEvery triggers a retrain once this many new labels have
+	// accumulated since the last one. Default 200.
+	RetrainEvery int
+	// RetrainInterval additionally triggers retrains on a wall-clock
+	// cadence when new labels exist (0 disables the cadence trigger).
+	RetrainInterval time.Duration
+	// MinLabeled gates the first retrain until the corpus can support
+	// a percentile fit. Defaults to RetrainEvery.
+	MinLabeled int
+	// StepsPerRound is how many mini-batch steps each retrain runs.
+	// Default 400.
+	StepsPerRound int
+	// Optimizer and LearnRate configure the retraining optimizer.
+	// Defaults: "RMSProp", 1e-3.
+	Optimizer string
+	LearnRate float64
+
+	// HoldoutFrac is the fraction of the corpus held out (by stride)
+	// for the accuracy gate. Default 0.2.
+	HoldoutFrac float64
+	// GateSlack is how much held-out accuracy a candidate may lose
+	// versus the serving model and still publish. Default 0.005;
+	// negative demands the candidate beat the serving model by that
+	// margin.
+	GateSlack float64
+
+	// Seed drives exploration sampling and training shuffles.
+	Seed int64
+	// JournalPath persists the labeled corpus ("" = in-memory only).
+	JournalPath string
+	// SavePath, when set, is where published models are written with
+	// serve.SaveModel (defaults to the serving model's own Path, so
+	// watcher-driven reloads keep working; a pathless bootstrap model
+	// publishes in-memory only).
+	SavePath string
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Metrics) == 0 {
+		c.Metrics = []synth.Metric{synth.MetricArea}
+	}
+	if len(c.Percentiles) == 0 {
+		c.Percentiles = label.DefaultPercentiles
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.LabelWorkers <= 0 {
+		c.LabelWorkers = max(1, runtime.NumCPU()/2)
+	}
+	if c.LabelBatch <= 0 {
+		c.LabelBatch = 32
+	}
+	if c.ExploreBatch < 0 {
+		c.ExploreBatch = 0
+	} else if c.ExploreBatch == 0 {
+		c.ExploreBatch = 8
+	}
+	if c.GatherWait <= 0 {
+		c.GatherWait = 100 * time.Millisecond
+	}
+	if c.RetrainEvery <= 0 {
+		c.RetrainEvery = 200
+	}
+	if c.MinLabeled <= 0 {
+		c.MinLabeled = c.RetrainEvery
+	}
+	if c.StepsPerRound <= 0 {
+		c.StepsPerRound = 400
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = "RMSProp"
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 1e-3
+	}
+	if c.HoldoutFrac <= 0 || c.HoldoutFrac >= 1 {
+		c.HoldoutFrac = 0.2
+	}
+	if c.GateSlack == 0 {
+		c.GateSlack = 0.005
+	}
+	return c
+}
+
+// Status is one consistent snapshot of the loop's counters, served by
+// /v1/loop/status and embedded in /v1/stats.
+type Status struct {
+	Running     bool `json:"running"`
+	Queued      int  `json:"queued"`
+	DatasetSize int  `json:"dataset_size"`
+
+	Observed    int64 `json:"observed"`
+	Dropped     int64 `json:"dropped"`
+	Explored    int64 `json:"explored"`
+	Labeled     int64 `json:"labeled"`
+	LabelErrors int64 `json:"label_errors"`
+	Submitted   int64 `json:"submitted"`
+	Duplicates  int64 `json:"duplicates"`
+
+	Retrains  int64 `json:"retrains"`
+	Published int64 `json:"published"`
+	Rejected  int64 `json:"rejected"`
+
+	LastLoss           float64   `json:"last_loss"`
+	LastCandidateAcc   float64   `json:"last_candidate_acc"`
+	LastServingAcc     float64   `json:"last_serving_acc"`
+	LastPublishVersion int       `json:"last_publish_version,omitempty"`
+	LastPublishTime    time.Time `json:"last_publish_time,omitzero"`
+	LastError          string    `json:"last_error,omitempty"`
+}
+
+// Loop is the continuous flow-development loop. Construct with New,
+// drive with Run, feed through Observe/SubmitLabel (the serve
+// layer's LoopController hooks).
+type Loop struct {
+	cfg   Config
+	reg   *serve.Registry
+	eng   *synth.Engine
+	store *Store
+	space flow.Space
+
+	queue  chan flow.Flow
+	kick   chan struct{}
+	mu     sync.Mutex // guards queued + last* fields
+	queued map[string]struct{}
+
+	running  atomic.Bool
+	newSince atomic.Int64 // labels added since the last retrain attempt
+
+	observed, dropped, explored   atomic.Int64
+	labeled, labelErrors          atomic.Int64
+	submitted, duplicates         atomic.Int64
+	retrains, published, rejected atomic.Int64
+	lastLoss, lastCand, lastServ  float64
+	lastVersion                   int
+	lastPublish                   time.Time
+	lastErr                       string
+}
+
+// New builds a loop retraining the named registry model, labeling
+// through eng (whose Workers are clamped to cfg.LabelWorkers). The
+// engine must evaluate the same flow space the model serves, and the
+// labeling model's class count must match the architecture's logit
+// width — both are validated here rather than at the first retrain.
+func New(reg *serve.Registry, eng *synth.Engine, cfg Config) (*Loop, error) {
+	cfg = cfg.withDefaults()
+	m, err := reg.Get(cfg.ModelName)
+	if err != nil {
+		return nil, fmt.Errorf("loop: resolving model: %w", err)
+	}
+	cfg.ModelName = m.Name
+	if cfg.SavePath == "" {
+		cfg.SavePath = m.Path
+	}
+	if want := len(cfg.Percentiles) + 1; m.Arch.NumClasses != want {
+		return nil, fmt.Errorf("loop: model %q classifies %d classes but %d percentiles need %d",
+			m.Name, m.Arch.NumClasses, len(cfg.Percentiles), want)
+	}
+	if eng.Space.Length() != m.Space.Length() || eng.Space.N() != m.Space.N() {
+		return nil, fmt.Errorf("loop: engine flow space %dx%d does not match model %q space %dx%d",
+			eng.Space.Length(), eng.Space.N(), m.Name, m.Space.Length(), m.Space.N())
+	}
+	eng.Workers = cfg.LabelWorkers
+	store, err := OpenStore(cfg.JournalPath)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loop{
+		cfg:    cfg,
+		reg:    reg,
+		eng:    eng,
+		store:  store,
+		space:  m.Space,
+		queue:  make(chan flow.Flow, cfg.QueueCap),
+		kick:   make(chan struct{}, 1),
+		queued: map[string]struct{}{},
+	}
+	// A replayed journal may already hold enough samples to retrain.
+	l.newSince.Store(int64(store.Len()))
+	return l, nil
+}
+
+// Store exposes the labeled corpus (for tests and stats).
+func (l *Loop) Store() *Store { return l.store }
+
+// Close releases the journal. Call after Run has returned.
+func (l *Loop) Close() error { return l.store.Close() }
+
+// Run drives the labeler and retrainer until ctx is cancelled.
+func (l *Loop) Run(ctx context.Context) {
+	l.running.Store(true)
+	defer l.running.Store(false)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		l.labelLoop(ctx)
+	}()
+	go func() {
+		defer wg.Done()
+		l.retrainLoop(ctx)
+	}()
+	wg.Wait()
+}
+
+// Observe enqueues served flows as labeling candidates — the serve
+// layer calls this from the predict/recommend handlers. Flows already
+// labeled or already queued are skipped; when the queue is full the
+// flows are dropped (and counted), never blocking the request path.
+func (l *Loop) Observe(flows []flow.Flow) {
+	for _, f := range flows {
+		l.observed.Add(1)
+		if l.space.Validate(f) != nil || l.store.Has(f) {
+			continue
+		}
+		key := f.Key()
+		l.mu.Lock()
+		if _, dup := l.queued[key]; dup {
+			l.mu.Unlock()
+			continue
+		}
+		select {
+		case l.queue <- f:
+			l.queued[key] = struct{}{}
+			l.mu.Unlock()
+		default:
+			l.mu.Unlock()
+			l.dropped.Add(1)
+		}
+	}
+}
+
+// SubmitLabel records an externally measured QoR for a flow (the
+// /v1/label endpoint): the sample enters the corpus directly, skipping
+// the labeler. Returns whether the sample was new, and the corpus size
+// after the call.
+func (l *Loop) SubmitLabel(flowText string, q synth.QoR) (accepted bool, size int, err error) {
+	f, err := l.space.Parse(flowText)
+	if err != nil {
+		return false, l.store.Len(), err
+	}
+	added, err := l.store.Add(f, q)
+	if err != nil {
+		return false, l.store.Len(), err
+	}
+	if added {
+		l.submitted.Add(1)
+		l.bumpNew(1)
+	} else {
+		l.duplicates.Add(1)
+	}
+	return added, l.store.Len(), nil
+}
+
+// Status returns a snapshot of the loop counters.
+func (l *Loop) Status() Status {
+	l.mu.Lock()
+	queued := len(l.queued)
+	st := Status{
+		LastLoss:           l.lastLoss,
+		LastCandidateAcc:   l.lastCand,
+		LastServingAcc:     l.lastServ,
+		LastPublishVersion: l.lastVersion,
+		LastPublishTime:    l.lastPublish,
+		LastError:          l.lastErr,
+	}
+	l.mu.Unlock()
+	st.Running = l.running.Load()
+	st.Queued = queued
+	st.DatasetSize = l.store.Len()
+	st.Observed = l.observed.Load()
+	st.Dropped = l.dropped.Load()
+	st.Explored = l.explored.Load()
+	st.Labeled = l.labeled.Load()
+	st.LabelErrors = l.labelErrors.Load()
+	st.Submitted = l.submitted.Load()
+	st.Duplicates = l.duplicates.Load()
+	st.Retrains = l.retrains.Load()
+	st.Published = l.published.Load()
+	st.Rejected = l.rejected.Load()
+	return st
+}
+
+// LoopStatus satisfies serve.LoopController.
+func (l *Loop) LoopStatus() any { return l.Status() }
+
+// bumpNew counts freshly labeled samples and kicks the retrainer once
+// enough have accumulated.
+func (l *Loop) bumpNew(n int64) {
+	if l.newSince.Add(n) >= int64(l.cfg.RetrainEvery) && l.store.Len() >= l.cfg.MinLabeled {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ------------------------------------------------------------- labeler
+
+func (l *Loop) labelLoop(ctx context.Context) {
+	rng := rand.New(rand.NewSource(l.cfg.Seed))
+	timer := time.NewTimer(l.cfg.GatherWait)
+	defer timer.Stop()
+	for {
+		batch := l.gather(ctx, timer)
+		if ctx.Err() != nil {
+			return
+		}
+		batch = l.explore(rng, batch)
+		if len(batch) == 0 {
+			continue
+		}
+		qors, err := l.eng.EvaluateAll(batch, nil)
+		if err != nil {
+			// Queued flows are pre-validated, so a batch error is
+			// engine-level; count it and keep the loop alive.
+			l.labelErrors.Add(int64(len(batch)))
+			l.setErr(fmt.Sprintf("labeling: %v", err))
+			continue
+		}
+		var added int64
+		for i, f := range batch {
+			ok, err := l.store.Add(f, qors[i])
+			if err != nil {
+				l.labelErrors.Add(1)
+				l.setErr(err.Error())
+				continue
+			}
+			if ok {
+				added++
+			} else {
+				l.duplicates.Add(1)
+			}
+		}
+		l.labeled.Add(added)
+		l.bumpNew(added)
+	}
+}
+
+// gather blocks up to GatherWait for a first queued flow, then drains
+// without blocking up to LabelBatch.
+func (l *Loop) gather(ctx context.Context, timer *time.Timer) []flow.Flow {
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	timer.Reset(l.cfg.GatherWait)
+	var batch []flow.Flow
+	select {
+	case <-ctx.Done():
+		return nil
+	case <-timer.C:
+		return nil
+	case f := <-l.queue:
+		batch = append(batch, l.unqueue(f))
+	}
+	for len(batch) < l.cfg.LabelBatch {
+		select {
+		case f := <-l.queue:
+			batch = append(batch, l.unqueue(f))
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (l *Loop) unqueue(f flow.Flow) flow.Flow {
+	l.mu.Lock()
+	delete(l.queued, f.Key())
+	l.mu.Unlock()
+	return f
+}
+
+// explore tops the batch up with fresh random flows so the corpus keeps
+// growing when traffic is idle. Sampling attempts are bounded so a
+// nearly exhausted (toy) flow space cannot spin the labeler.
+func (l *Loop) explore(rng *rand.Rand, batch []flow.Flow) []flow.Flow {
+	want := len(batch) + l.cfg.ExploreBatch
+	if want > l.cfg.LabelBatch && len(batch) > 0 {
+		want = l.cfg.LabelBatch
+	}
+	inBatch := make(map[string]struct{}, len(batch))
+	for _, f := range batch {
+		inBatch[f.Key()] = struct{}{}
+	}
+	for tries := 4 * l.cfg.ExploreBatch; tries > 0 && len(batch) < want; tries-- {
+		f := l.space.Random(rng)
+		key := f.Key()
+		if _, dup := inBatch[key]; dup || l.store.Has(f) {
+			continue
+		}
+		l.mu.Lock()
+		_, dup := l.queued[key]
+		l.mu.Unlock()
+		if dup {
+			continue
+		}
+		inBatch[key] = struct{}{}
+		batch = append(batch, f)
+		l.explored.Add(1)
+	}
+	return batch
+}
+
+// ----------------------------------------------------------- retrainer
+
+func (l *Loop) retrainLoop(ctx context.Context) {
+	var cadence <-chan time.Time
+	if l.cfg.RetrainInterval > 0 {
+		t := time.NewTicker(l.cfg.RetrainInterval)
+		defer t.Stop()
+		cadence = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-l.kick:
+		case <-cadence:
+			if l.newSince.Load() == 0 || l.store.Len() < l.cfg.MinLabeled {
+				continue
+			}
+		}
+		l.newSince.Store(0)
+		if err := l.retrain(ctx); err != nil {
+			l.setErr(err.Error())
+		}
+	}
+}
+
+// retrain runs one labeling-model refit + warm-start training round and
+// publishes the candidate if it clears the accuracy gate.
+func (l *Loop) retrain(ctx context.Context) error {
+	round := l.retrains.Add(1)
+	cur, err := l.reg.Get(l.cfg.ModelName)
+	if err != nil {
+		return fmt.Errorf("retrain: %w", err)
+	}
+	flows, qors := l.store.Snapshot()
+	model, err := label.Fit(qors, l.cfg.Metrics, l.cfg.Percentiles)
+	if err != nil {
+		return fmt.Errorf("retrain: %w", err)
+	}
+
+	trainSet, holdout := l.split(cur, flows, qors, model)
+
+	// Warm start: a fresh network with the serving model's weights, so
+	// each round refines rather than relearns (the serving network is
+	// shared with in-flight predictions and must never be trained in
+	// place).
+	cand := cur.Arch.Build(l.cfg.Seed + round)
+	var w bytes.Buffer
+	if err := cur.Net.SaveWeights(&w); err != nil {
+		return fmt.Errorf("retrain: snapshotting weights: %w", err)
+	}
+	if err := cand.LoadWeights(&w); err != nil {
+		return fmt.Errorf("retrain: warm start: %w", err)
+	}
+	o, err := opt.ByName(l.cfg.Optimizer, l.cfg.LearnRate)
+	if err != nil {
+		return fmt.Errorf("retrain: %w", err)
+	}
+	tr := train.NewTrainer(cand, o, l.cfg.Seed+round)
+	tr.SetData(trainSet)
+	loss, err := tr.Steps(l.cfg.StepsPerRound)
+	if err != nil {
+		return fmt.Errorf("retrain: %w", err)
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+
+	// Accuracy gate, both sides through the one Predictor surface: the
+	// candidate compiled at the serving precision versus the serving
+	// model's live engine, on the same holdout.
+	candPred, err := nn.NewPredictor(cand, cur.Precision, cur.Arch.InH, cur.Arch.InW)
+	if err != nil {
+		return fmt.Errorf("retrain: compiling candidate: %w", err)
+	}
+	curPred, err := cur.Predictor()
+	if err != nil {
+		return fmt.Errorf("retrain: serving engine: %w", err)
+	}
+	workers := l.cfg.LabelWorkers
+	candAcc := train.AccuracyPredictor(candPred, holdout, workers)
+	curAcc := train.AccuracyPredictor(curPred, holdout, workers)
+
+	l.mu.Lock()
+	l.lastLoss, l.lastCand, l.lastServ = loss, candAcc, curAcc
+	l.mu.Unlock()
+
+	if candAcc+l.cfg.GateSlack < curAcc {
+		l.rejected.Add(1)
+		l.setErr(fmt.Sprintf("round %d rejected: candidate holdout accuracy %.4f vs serving %.4f",
+			round, candAcc, curAcc))
+		return nil
+	}
+
+	next := &serve.Model{
+		Name:      cur.Name,
+		Space:     cur.Space,
+		Arch:      cur.Arch,
+		Net:       cand,
+		Path:      cur.Path,
+		Precision: cur.Precision,
+	}
+	if l.cfg.SavePath != "" {
+		if err := serve.SaveModel(l.cfg.SavePath, next); err != nil {
+			return fmt.Errorf("retrain: persisting model: %w", err)
+		}
+		next.Path = l.cfg.SavePath
+	}
+	installed := l.reg.Register(next)
+	l.published.Add(1)
+	l.mu.Lock()
+	l.lastVersion = installed.Version
+	l.lastPublish = time.Now()
+	l.lastErr = ""
+	l.mu.Unlock()
+	return nil
+}
+
+// split partitions the corpus into train/holdout by stride (every k-th
+// sample held out), encoding flows with the model's input shape and
+// labeling them under the freshly fit determinators. A corpus too small
+// to hold anything out gates against the training set itself.
+func (l *Loop) split(cur *serve.Model, flows []flow.Flow, qors []synth.QoR, model *label.Model) (trainSet, holdout *train.Dataset) {
+	h, w := cur.Arch.InH, cur.Arch.InW
+	trainSet = &train.Dataset{H: h, W: w, NumCl: model.NumClasses()}
+	holdout = &train.Dataset{H: h, W: w, NumCl: model.NumClasses()}
+	stride := max(2, int(math.Round(1/l.cfg.HoldoutFrac)))
+	for i, f := range flows {
+		x := f.Encode(cur.Space, h, w)
+		y := model.Class(qors[i])
+		if i%stride == stride-1 {
+			holdout.Add(x, y)
+		} else {
+			trainSet.Add(x, y)
+		}
+	}
+	if holdout.Len() == 0 {
+		holdout = trainSet
+	}
+	if trainSet.Len() == 0 {
+		trainSet = holdout
+	}
+	return trainSet, holdout
+}
+
+func (l *Loop) setErr(msg string) {
+	l.mu.Lock()
+	l.lastErr = msg
+	l.mu.Unlock()
+}

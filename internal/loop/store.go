@@ -1,0 +1,187 @@
+package loop
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"flowgen/internal/flow"
+	"flowgen/internal/synth"
+)
+
+// journalRecord is one labeled flow as it sits on disk.
+type journalRecord struct {
+	Indices []int
+	QoR     synth.QoR
+}
+
+// Store is the loop's labeled-flow corpus: an in-memory, deduplicated
+// (flow, QoR) set mirrored to an append-only journal so the dataset
+// survives restarts. Records are length-prefixed (uvarint) individually
+// gob-encoded blobs — unlike a single gob stream, that makes appends
+// from successive process lifetimes decodable and lets replay tolerate
+// a torn tail record from a crash mid-write (the partial record is
+// discarded and truncated away).
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	flows []flow.Flow
+	qors  []synth.QoR
+	seen  map[string]struct{}
+}
+
+// OpenStore opens (or creates) the journal at path and replays it into
+// memory. An empty path yields a purely in-memory store (no
+// persistence) — what a bootstrapped, pathless server uses.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, seen: map[string]struct{}{}}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("loop: opening journal: %w", err)
+	}
+	good, err := s.replay(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop a torn tail record (crash mid-append) so the next append
+	// starts on a clean boundary.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("loop: truncating journal tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	return s, nil
+}
+
+// replay decodes every complete record from the journal and returns the
+// offset just past the last complete one. Decode errors past the first
+// byte of a record are treated as a torn tail, not corruption midway:
+// the journal is append-only, so the only partial record is the last.
+func (s *Store) replay(f *os.File) (int64, error) {
+	br := &journalByteReader{r: f}
+	var good int64
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return good, nil // clean EOF or torn length prefix
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return good, nil // torn record body
+		}
+		var rec journalRecord
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&rec); err != nil {
+			return good, nil // torn or trailing garbage
+		}
+		fl := flow.Flow{Indices: rec.Indices}
+		key := fl.Key()
+		if _, dup := s.seen[key]; !dup {
+			s.seen[key] = struct{}{}
+			s.flows = append(s.flows, fl)
+			s.qors = append(s.qors, rec.QoR)
+		}
+		good = br.offset()
+	}
+}
+
+// journalByteReader adapts a reader to io.ByteReader while tracking the
+// offset of the last byte handed out (bufio would over-read, losing the
+// truncation boundary).
+type journalByteReader struct {
+	r   io.Reader
+	buf [1]byte
+	off int64
+}
+
+func (b *journalByteReader) ReadByte() (byte, error) {
+	n, err := io.ReadFull(b.r, b.buf[:1])
+	b.off += int64(n)
+	if err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}
+
+func (b *journalByteReader) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.off += int64(n)
+	return n, err
+}
+
+func (b *journalByteReader) offset() int64 { return b.off }
+
+// Add records one labeled flow. Returns false (without writing) when
+// the flow is already in the corpus.
+func (s *Store) Add(f flow.Flow, q synth.QoR) (added bool, err error) {
+	key := f.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.seen[key]; dup {
+		return false, nil
+	}
+	if s.f != nil {
+		var blob bytes.Buffer
+		if err := gob.NewEncoder(&blob).Encode(&journalRecord{Indices: f.Indices, QoR: q}); err != nil {
+			return false, fmt.Errorf("loop: encoding journal record: %w", err)
+		}
+		var pre [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(pre[:], uint64(blob.Len()))
+		if _, err := s.f.Write(append(pre[:n], blob.Bytes()...)); err != nil {
+			return false, fmt.Errorf("loop: appending journal record: %w", err)
+		}
+	}
+	s.seen[key] = struct{}{}
+	s.flows = append(s.flows, f)
+	s.qors = append(s.qors, q)
+	return true, nil
+}
+
+// Len returns the corpus size.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flows)
+}
+
+// Has reports whether the flow is already labeled.
+func (s *Store) Has(f flow.Flow) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.seen[f.Key()]
+	return ok
+}
+
+// Snapshot returns copies of the corpus in insertion order — stable
+// across restarts, which keeps the retrainer's stride-based holdout
+// split consistent.
+func (s *Store) Snapshot() ([]flow.Flow, []synth.QoR) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]flow.Flow(nil), s.flows...), append([]synth.QoR(nil), s.qors...)
+}
+
+// Close flushes and closes the journal file (no-op in memory-only
+// mode). The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,153 @@
+package loop
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowgen/internal/flow"
+	"flowgen/internal/synth"
+)
+
+func testFlows(n int) (flow.Space, []flow.Flow) {
+	space := flow.NewSpace([]string{"a", "b", "c", "d"}, 2)
+	return space, space.RandomUnique(rand.New(rand.NewSource(5)), n)
+}
+
+func testQoR(i int) synth.QoR {
+	return synth.QoR{Area: float64(100 + i), Delay: float64(50 + i), Gates: 10 + i, Ands: 20 + i, Levels: 3}
+}
+
+// TestStoreJournalRestart proves the corpus survives a restart with
+// order, QoRs and dedup state intact.
+func TestStoreJournalRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.journal")
+	_, flows := testFlows(8)
+
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range flows[:5] {
+		added, err := s.Add(f, testQoR(i))
+		if err != nil || !added {
+			t.Fatalf("add %d: added=%v err=%v", i, added, err)
+		}
+	}
+	// A duplicate is rejected without growing the corpus or the file.
+	if added, err := s.Add(flows[2], testQoR(99)); err != nil || added {
+		t.Fatalf("duplicate add: added=%v err=%v", added, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 5 {
+		t.Fatalf("replayed %d records, want 5", s2.Len())
+	}
+	gotFlows, gotQoRs := s2.Snapshot()
+	for i := range gotFlows {
+		if gotFlows[i].Key() != flows[i].Key() {
+			t.Fatalf("record %d: flow %q, want %q", i, gotFlows[i].Key(), flows[i].Key())
+		}
+		if gotQoRs[i] != testQoR(i) {
+			t.Fatalf("record %d: qor %+v, want %+v", i, gotQoRs[i], testQoR(i))
+		}
+	}
+	// Dedup state replays too: a restart must not re-admit old flows.
+	if added, _ := s2.Add(flows[0], testQoR(0)); added {
+		t.Fatal("replayed store re-admitted a journaled flow")
+	}
+	// And appending after replay keeps working.
+	if added, err := s2.Add(flows[5], testQoR(5)); err != nil || !added {
+		t.Fatalf("post-replay add: added=%v err=%v", added, err)
+	}
+}
+
+// TestStoreTornTail simulates a crash mid-append: the journal gains a
+// partial trailing record, which replay must discard and truncate so
+// subsequent appends land on a clean boundary.
+func TestStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.journal")
+	_, flows := testFlows(6)
+
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range flows[:3] {
+		if _, err := s.Add(f, testQoR(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-write: a length prefix promising 200 bytes, followed by
+	// only a few.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xC8, 0x01, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("replayed %d records through a torn tail, want 3", s2.Len())
+	}
+	if st, _ := os.Stat(path); st.Size() != good.Size() {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", st.Size(), good.Size())
+	}
+	// The next append must decode on the following restart.
+	if added, err := s2.Add(flows[3], testQoR(3)); err != nil || !added {
+		t.Fatalf("post-truncation add: added=%v err=%v", added, err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 4 {
+		t.Fatalf("final replay: %d records, want 4", s3.Len())
+	}
+}
+
+// TestStoreInMemory checks the pathless (bootstrap) mode: fully
+// functional, nothing on disk.
+func TestStoreInMemory(t *testing.T) {
+	s, err := OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, flows := testFlows(2)
+	if added, err := s.Add(flows[0], testQoR(0)); err != nil || !added {
+		t.Fatalf("add: added=%v err=%v", added, err)
+	}
+	if !s.Has(flows[0]) || s.Has(flows[1]) {
+		t.Fatal("Has does not reflect the corpus")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}

@@ -569,36 +569,6 @@ func (t *InferenceNet) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, wo
 	})
 }
 
-// PredictStreamPrec routes a streamed prediction through the engine
-// prec selects — the shared dispatch behind every precision-aware
-// inference consumer (core pool prediction, the experiment harness,
-// accuracy evaluation). Under F32 the network is snapshotted into the
-// packed engine and samples stream via fill32; under Int8 it is
-// quantized (NewQuantNet) and samples stream bit-packed via fillBits
-// (⌈inH·inW/64⌉ words per sample, flow.EncodeBits layout); under F64
-// the full-precision path runs with fill. All fills encode samples
-// [lo, hi) of the same logical input; callers supply the typed variants
-// so the fast paths skip a float64 round trip.
-func PredictStreamPrec(ctx context.Context, net *Network, prec Precision, total, inH, inW, workers int,
-	fill func(dst []float64, lo, hi int), fill32 func(dst []float32, lo, hi int),
-	fillBits func(dst []uint64, lo, hi int)) ([][]float64, error) {
-	switch prec {
-	case F32:
-		inet, err := NewInferenceNet(net, inH, inW)
-		if err != nil {
-			return nil, err
-		}
-		return inet.PredictStream32(ctx, total, workers, fill32)
-	case Int8:
-		qnet, err := NewQuantNet(net, inH, inW)
-		if err != nil {
-			return nil, err
-		}
-		return qnet.PredictStreamBits(ctx, total, workers, fillBits)
-	}
-	return net.PredictStream(ctx, total, []int{1, inH, inW}, workers, fill)
-}
-
 // PredictStream32 classifies total samples without materializing the
 // input: fill(dst, lo, hi) encodes samples [lo, hi) straight into the
 // worker's float32 chunk buffer before each forward pass — the f32

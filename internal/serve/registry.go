@@ -50,80 +50,52 @@ type Model struct {
 	Path     string // source file for reloads ("" = in-memory only)
 	LoadedAt time.Time
 
-	// Precision selects the serving engine. The zero value (nn.F32)
-	// scores through a packed float32 snapshot of the network
-	// (nn.InferenceNet), compiled once per Model; nn.F64 serves through
-	// pooled full-precision inference clones. Set before the model is
-	// registered (a Model is immutable afterwards).
+	// Precision selects the serving engine compiled by Predictor: the
+	// zero value (nn.F32) scores through a packed float32 snapshot
+	// (nn.InferenceNet), nn.Int8 through the quantized engine, nn.F64
+	// through pooled full-precision inference clones. Set before the
+	// model is registered (a Model is immutable afterwards).
 	Precision nn.Precision
 
-	// infer is the lazily compiled f32 snapshot: weights converted and
-	// packed exactly once per registered Model, shared by every request
-	// (the snapshot is immutable and workers own their scratch).
-	inferOnce sync.Once
-	infer     *nn.InferenceNet
-	inferErr  error
-
-	// quant is the lazily compiled int8 snapshot (weights quantized and
-	// packed once per Model), with the same sharing discipline.
-	quantOnce sync.Once
-	quant     *nn.QuantNet
-	quantErr  error
-
-	// clones pools parameter-sharing f64 inference clones. nn layers
-	// retain forward state, so a network serves one forward pipeline at
-	// a time — but the serving layer scores concurrently (batcher
-	// flushes, multi-flow predicts, recommendation pools). Every f64
-	// serving-side forward therefore checks out an exclusive clone;
-	// pooling keeps their lazily grown GEMM scratch warm across
-	// requests.
-	clones sync.Pool
+	// pred is the lazily compiled serving engine — one nn.Predictor per
+	// registered Model, compiled exactly once (weights converted,
+	// quantized and/or packed as the precision demands) and shared by
+	// every request: predictors are concurrency-safe, workers own their
+	// scratch.
+	predOnce sync.Once
+	pred     nn.Predictor
+	predErr  error
 }
 
-// Infer returns the model's packed float32 engine, compiling it on
-// first use (Registry.Register warms it eagerly for F32 models).
-func (m *Model) Infer() (*nn.InferenceNet, error) {
-	m.inferOnce.Do(func() {
-		m.infer, m.inferErr = nn.NewInferenceNet(m.Net, m.Arch.InH, m.Arch.InW)
+// Predictor returns the model's serving engine, compiling it on first
+// use (Registry.Register warms it eagerly so the first request after a
+// (re)registration never pays the compile).
+func (m *Model) Predictor() (nn.Predictor, error) {
+	m.predOnce.Do(func() {
+		m.pred, m.predErr = nn.NewPredictor(m.Net, m.Precision, m.Arch.InH, m.Arch.InW)
 	})
-	return m.infer, m.inferErr
-}
-
-// Quant returns the model's int8 quantized engine, compiling it on
-// first use (Registry.Register warms it eagerly for Int8 models).
-func (m *Model) Quant() (*nn.QuantNet, error) {
-	m.quantOnce.Do(func() {
-		m.quant, m.quantErr = nn.NewQuantNet(m.Net, m.Arch.InH, m.Arch.InW)
-	})
-	return m.quant, m.quantErr
+	return m.pred, m.predErr
 }
 
 // QuantCompileTime reports how long the int8 snapshot took to compile,
 // or 0 when the model has not compiled one — surfaced by /v1/stats.
 func (m *Model) QuantCompileTime() time.Duration {
-	if m.Precision != nn.Int8 {
-		return 0
-	}
-	q, err := m.Quant()
+	p, err := m.Predictor()
 	if err != nil {
 		return 0
 	}
-	return q.CompileTime()
+	if q, ok := p.(*nn.QuantNet); ok {
+		return q.CompileTime()
+	}
+	return 0
 }
 
 // SIMD names the kernel tier of the model's compiled serving engine
 // ("none"/"avx2"), surfaced by /v1/stats. F64 models have no packed
 // snapshot and report "none".
 func (m *Model) SIMD() string {
-	switch m.Precision {
-	case nn.Int8:
-		if q, err := m.Quant(); err == nil {
-			return q.SIMD()
-		}
-	case nn.F32:
-		if t, err := m.Infer(); err == nil {
-			return t.SIMD()
-		}
+	if p, err := m.Predictor(); err == nil {
+		return p.SIMD()
 	}
 	return tensor.SIMDNone.String()
 }
@@ -136,64 +108,30 @@ func (m *Model) EncodeFlow(f flow.Flow) []float64 {
 	return f.Encode(m.Space, m.Arch.InH, m.Arch.InW)
 }
 
-func (m *Model) getClone() *nn.Network {
-	if c, _ := m.clones.Get().(*nn.Network); c != nil {
-		return c
-	}
-	return m.Net.InferenceClone()
-}
-
 // PredictBatchCtx scores a prepared batch through the model's serving
-// engine: the packed f32 snapshot under the default precision (workers
-// own their scratch, so concurrent callers are naturally isolated), or
-// a pooled f64 inference clone under nn.F64. Responses are
-// deterministic and independent of how requests were batched either
-// way.
+// engine. Predictors are concurrency-safe (workers own their scratch;
+// the f64 path checks clones out of a pool), and responses are
+// deterministic and independent of how requests were batched.
 func (m *Model) PredictBatchCtx(ctx context.Context, x *tensor.Tensor, workers int) ([][]float64, error) {
-	switch m.Precision {
-	case nn.F32:
-		inet, err := m.Infer()
-		if err != nil {
-			return nil, err
-		}
-		return inet.PredictBatchCtx(ctx, x, workers)
-	case nn.Int8:
-		qnet, err := m.Quant()
-		if err != nil {
-			return nil, err
-		}
-		return qnet.PredictBatchCtx(ctx, x, workers)
+	p, err := m.Predictor()
+	if err != nil {
+		return nil, err
 	}
-	c := m.getClone()
-	defer m.clones.Put(c)
-	return c.PredictBatchCtx(ctx, x, workers)
+	return p.PredictBatchCtx(ctx, x, workers)
 }
 
 // PredictFlows streams the given flows through the model's serving
 // engine without materializing a pool-sized tensor: encodings fill
-// chunk-sized worker buffers (float32 or float64 to match the engine).
-// This is the scoring path behind multi-flow predicts and
-// recommendation pools.
+// chunk-sized worker buffers in the engine's native representation
+// (core.FlowSource supplies all three). This is the scoring path behind
+// multi-flow predicts and recommendation pools.
 func (m *Model) PredictFlows(ctx context.Context, flows []flow.Flow, workers int) ([][]float64, error) {
-	hw := m.EncodeLen()
-	switch m.Precision {
-	case nn.F32:
-		inet, err := m.Infer()
-		if err != nil {
-			return nil, err
-		}
-		return inet.PredictStream32(ctx, len(flows), workers, core.EncodeFill32(m.Space, flows, hw))
-	case nn.Int8:
-		qnet, err := m.Quant()
-		if err != nil {
-			return nil, err
-		}
-		return qnet.PredictStreamBits(ctx, len(flows), workers, core.EncodeFillBits(m.Space, flows))
+	p, err := m.Predictor()
+	if err != nil {
+		return nil, err
 	}
-	c := m.getClone()
-	defer m.clones.Put(c)
-	return c.PredictStream(ctx, len(flows), []int{1, m.Arch.InH, m.Arch.InW}, workers,
-		core.EncodeFill(m.Space, flows, hw))
+	return p.PredictStream(ctx, len(flows), workers,
+		core.FlowSource(m.Space, flows, m.Arch.InH, m.Arch.InW))
 }
 
 // modelSnapshot is the on-disk form of a Model. The architecture is
@@ -346,16 +284,10 @@ func (r *Registry) Register(m *Model) *Model {
 	if m.LoadedAt.IsZero() {
 		m.LoadedAt = time.Now()
 	}
-	switch m.Precision {
-	case nn.F32:
-		// Warm the packed f32 snapshot so the first request after a
-		// (re)registration does not pay the compile; a compile error is
-		// remembered and surfaced by the first prediction.
-		m.Infer()
-	case nn.Int8:
-		// Same for the quantized snapshot.
-		m.Quant()
-	}
+	// Warm the serving engine so the first request after a
+	// (re)registration does not pay the compile; a compile error is
+	// remembered and surfaced by the first prediction.
+	m.Predictor()
 	next.byName[m.Name] = m
 	if next.defaultName == "" {
 		next.defaultName = m.Name

@@ -15,8 +15,25 @@ import (
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
 	"flowgen/internal/nn"
+	"flowgen/internal/synth"
 	"flowgen/internal/tensor"
 )
+
+// LoopController is the hook the continuous flow-development loop
+// (internal/loop) registers with SetLoop. serve stays decoupled from
+// the loop's implementation — it only feeds observations in and
+// surfaces status out:
+//
+//   - Observe receives flows that crossed the serving endpoints
+//     (predict inputs, recommend selections) as labeling candidates;
+//   - SubmitLabel records an externally measured QoR (/v1/label);
+//   - LoopStatus returns the loop's JSON-serializable status snapshot
+//     (/v1/loop/status, and the loop block of /v1/stats).
+type LoopController interface {
+	Observe(flows []flow.Flow)
+	SubmitLabel(flowText string, q synth.QoR) (accepted bool, size int, err error)
+	LoopStatus() any
+}
 
 // ServerConfig tunes the HTTP serving layer.
 type ServerConfig struct {
@@ -70,7 +87,26 @@ type Server struct {
 	batchers map[string]*Batcher
 	closed   bool
 
-	metrics sync.Map // endpoint name → *endpointMetrics
+	loop    atomic.Value // LoopController, when a loop is attached
+	metrics sync.Map     // endpoint name → *endpointMetrics
+}
+
+// SetLoop attaches the continuous flow-development loop: served flows
+// start feeding its labeling queue and the loop endpoints come alive.
+func (s *Server) SetLoop(lc LoopController) { s.loop.Store(&lc) }
+
+func (s *Server) getLoop() LoopController {
+	if v := s.loop.Load(); v != nil {
+		return *v.(*LoopController)
+	}
+	return nil
+}
+
+// observe forwards flows to the attached loop, if any.
+func (s *Server) observe(flows []flow.Flow) {
+	if lc := s.getLoop(); lc != nil {
+		lc.Observe(flows)
+	}
 }
 
 // NewServer wires a server over the registry. Call Close to stop the
@@ -121,35 +157,89 @@ func (s *Server) batcherFor(name string) (*Batcher, error) {
 	return b, nil
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler. The model collection is
+// RESTful — GET /v1/models, GET /v1/models/{name}, POST
+// /v1/models/{name}/reload — with the original POST /v1/models/reload
+// (body-addressed, bulk-capable) kept as a compatible alias; aliases
+// share one metrics bucket per logical endpoint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
 	mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
+	mux.HandleFunc("GET /v1/models/{name}", s.instrument("model_get", s.handleModelGet))
 	mux.HandleFunc("POST /v1/models/reload", s.instrument("reload", s.handleReload))
+	mux.HandleFunc("POST /v1/models/{name}/reload", s.instrument("reload", s.handleModelReload))
 	mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
 	mux.HandleFunc("POST /v1/recommend", s.instrument("recommend", s.handleRecommend))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/loop/status", s.instrument("loop_status", s.handleLoopStatus))
+	mux.HandleFunc("POST /v1/label", s.instrument("label", s.handleLabel))
 	return mux
 }
 
-// httpError is an error with a dedicated HTTP status.
+// httpError is an error with a dedicated HTTP status and a stable
+// machine-readable code for the error envelope.
 type httpError struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
-	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, code: "bad_request", msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &httpError{status: http.StatusNotFound, code: "not_found", msg: fmt.Sprintf(format, args...)}
+}
+
+// errorEnvelope is the uniform JSON error body every endpoint returns:
+// {"error":{"code":"...","message":"..."}}.
+type errorEnvelope struct {
+	Error errorInfo `json:"error"`
+}
+
+type errorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// renderError maps an error to its HTTP status and envelope code.
+func renderError(err error) (int, errorEnvelope) {
+	status, code := http.StatusInternalServerError, "internal"
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+		code = he.code
+		if code == "" {
+			code = "internal"
+		}
+	case errors.Is(err, ErrQueueFull):
+		status, code = http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusGatewayTimeout, "timeout"
+	}
+	return status, errorEnvelope{Error: errorInfo{Code: code, Message: err.Error()}}
+}
+
+// metricFor returns the shared counter bucket for a logical endpoint —
+// shared, so route aliases (legacy and RESTful reload) aggregate into
+// one entry.
+func (s *Server) metricFor(name string) *endpointMetrics {
+	if v, ok := s.metrics.Load(name); ok {
+		return v.(*endpointMetrics)
+	}
+	v, _ := s.metrics.LoadOrStore(name, &endpointMetrics{})
+	return v.(*endpointMetrics)
 }
 
 // instrument wraps a handler with the per-endpoint counters and uniform
 // JSON error rendering.
 func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
-	m := &endpointMetrics{}
-	s.metrics.Store(name, m)
+	m := s.metricFor(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		body, err := h(r)
@@ -165,17 +255,9 @@ func (s *Server) instrument(name string, h func(*http.Request) (any, error)) htt
 		w.Header().Set("Content-Type", "application/json")
 		if err != nil {
 			m.errors.Add(1)
-			status := http.StatusInternalServerError
-			var he *httpError
-			if errors.As(err, &he) {
-				status = he.status
-			} else if errors.Is(err, ErrQueueFull) {
-				status = http.StatusTooManyRequests
-			} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				status = http.StatusGatewayTimeout
-			}
+			status, env := renderError(err)
 			w.WriteHeader(status)
-			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			json.NewEncoder(w).Encode(env)
 			return
 		}
 		json.NewEncoder(w).Encode(body)
@@ -199,23 +281,37 @@ func (s *Server) handleHealth(*http.Request) (any, error) {
 
 // ModelInfo describes one registered model.
 type ModelInfo struct {
-	Name     string    `json:"name"`
-	Version  int       `json:"version"`
-	Default  bool      `json:"default"`
-	Classes  int       `json:"classes"`
-	Alphabet []string  `json:"alphabet"`
-	M        int       `json:"m"`
-	Params   int       `json:"params"`
-	Path     string    `json:"path,omitempty"`
-	LoadedAt time.Time `json:"loaded_at"`
+	Name      string    `json:"name"`
+	Version   int       `json:"version"`
+	Default   bool      `json:"default"`
+	Classes   int       `json:"classes"`
+	Alphabet  []string  `json:"alphabet"`
+	M         int       `json:"m"`
+	Params    int       `json:"params"`
+	Precision string    `json:"precision"`
+	SIMD      string    `json:"simd"`
+	Path      string    `json:"path,omitempty"`
+	LoadedAt  time.Time `json:"loaded_at"`
 }
 
 func modelInfo(m *Model, def string) ModelInfo {
 	return ModelInfo{
 		Name: m.Name, Version: m.Version, Default: m.Name == def,
 		Classes: m.Arch.NumClasses, Alphabet: m.Space.Alphabet, M: m.Space.M,
-		Params: m.Net.NumParams(), Path: m.Path, LoadedAt: m.LoadedAt,
+		Params: m.Net.NumParams(), Precision: m.Precision.String(), SIMD: m.SIMD(),
+		Path: m.Path, LoadedAt: m.LoadedAt,
 	}
+}
+
+// handleModelGet serves GET /v1/models/{name}: one model's metadata,
+// 404 when the name is not registered.
+func (s *Server) handleModelGet(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	m, err := s.Registry.Get(name)
+	if err != nil {
+		return nil, notFound("%s", err.Error())
+	}
+	return modelInfo(m, s.Registry.DefaultName()), nil
 }
 
 func (s *Server) handleModels(*http.Request) (any, error) {
@@ -241,6 +337,9 @@ type reloadResult struct {
 	Error   string `json:"error,omitempty"`
 }
 
+// handleReload is the legacy bulk reload (POST /v1/models/reload with
+// an optional name in the body); kept as a compatible alias of the
+// RESTful per-model route.
 func (s *Server) handleReload(r *http.Request) (any, error) {
 	var req reloadRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -259,6 +358,19 @@ func (s *Server) handleReload(r *http.Request) (any, error) {
 			return nil, badRequest("no file-backed models to reload")
 		}
 	}
+	return s.reloadModels(names)
+}
+
+// handleModelReload serves POST /v1/models/{name}/reload.
+func (s *Server) handleModelReload(r *http.Request) (any, error) {
+	name := r.PathValue("name")
+	if _, err := s.Registry.Get(name); err != nil {
+		return nil, notFound("%s", err.Error())
+	}
+	return s.reloadModels([]string{name})
+}
+
+func (s *Server) reloadModels(names []string) (any, error) {
 	out := struct {
 		Reloaded []reloadResult `json:"reloaded"`
 	}{}
@@ -281,7 +393,7 @@ func (s *Server) handleReload(r *http.Request) (any, error) {
 		if len(names) == 1 {
 			return nil, badRequest("%s", out.Reloaded[0].Error)
 		}
-		return nil, &httpError{status: http.StatusInternalServerError,
+		return nil, &httpError{status: http.StatusInternalServerError, code: "internal",
 			msg: fmt.Sprintf("all %d reloads failed (first: %s)", len(names), out.Reloaded[0].Error)}
 	}
 	return out, nil
@@ -322,12 +434,14 @@ func (s *Server) handlePredict(r *http.Request) (any, error) {
 	}
 	m, err := s.Registry.Get(req.Model)
 	if err != nil {
-		return nil, badRequest("%s", err.Error())
+		return nil, notFound("%s", err.Error())
 	}
 	flows, err := parseFlows(m, req.Flows)
 	if err != nil {
 		return nil, err
 	}
+	// Every predicted flow is a labeling candidate for the loop.
+	s.observe(flows)
 
 	resp := predictResponse{Model: m.Name, Version: m.Version, Results: make([]FlowScore, len(flows))}
 	// Serve cache hits against the resolved snapshot; score the misses.
@@ -400,7 +514,7 @@ func (s *Server) scoreAll(r *http.Request, texts []string, flows []flow.Flow, m 
 	if err := m.Space.Validate(flows[0]); err != nil {
 		// The reload changed the flow space itself; the request was
 		// parsed against the old one, so the client must retry.
-		return nil, &httpError{status: http.StatusServiceUnavailable,
+		return nil, &httpError{status: http.StatusServiceUnavailable, code: "unavailable",
 			msg: "model reloaded with a different flow space mid-request; retry"}
 	}
 	probs, err := m.PredictFlows(r.Context(), flows, s.cfg.Batcher.Workers)
@@ -466,7 +580,7 @@ func (s *Server) handleRecommend(r *http.Request) (any, error) {
 	}
 	m, err := s.Registry.Get(req.Model)
 	if err != nil {
-		return nil, badRequest("%s", err.Error())
+		return nil, notFound("%s", err.Error())
 	}
 
 	var pool []flow.Flow
@@ -509,7 +623,71 @@ func (s *Server) handleRecommend(r *http.Request) (any, error) {
 		return out
 	}
 	resp.Angels, resp.Devils = render(angels), render(devils)
+	// Feed the selected flows (not the whole pool, which may be 100k
+	// server-sampled candidates) to the loop: the angels and devils are
+	// exactly the flows whose true QoR the paper's iteration wants next.
+	sel := make([]flow.Flow, 0, len(angels)+len(devils))
+	for _, sf := range angels {
+		sel = append(sel, sf.Flow)
+	}
+	for _, sf := range devils {
+		sel = append(sel, sf.Flow)
+	}
+	s.observe(sel)
 	return resp, nil
+}
+
+// ------------------------------------------------------------------ loop
+
+var errLoopDisabled = &httpError{status: http.StatusNotFound, code: "loop_disabled",
+	msg: "no flow-development loop is attached (start flowserve with -loop)"}
+
+// handleLoopStatus serves GET /v1/loop/status.
+func (s *Server) handleLoopStatus(*http.Request) (any, error) {
+	lc := s.getLoop()
+	if lc == nil {
+		return nil, errLoopDisabled
+	}
+	return lc.LoopStatus(), nil
+}
+
+type labelRequest struct {
+	Flow   string  `json:"flow"`
+	Area   float64 `json:"area"`
+	Delay  float64 `json:"delay"`
+	Gates  int     `json:"gates"`
+	Ands   int     `json:"ands"`
+	Levels int     `json:"levels"`
+}
+
+type labelResponse struct {
+	Accepted    bool `json:"accepted"`
+	DatasetSize int  `json:"dataset_size"`
+}
+
+// handleLabel serves POST /v1/label: explicit QoR submission for a
+// flow, feeding the loop's training corpus directly (the trusted-client
+// path for labels measured outside this server).
+func (s *Server) handleLabel(r *http.Request) (any, error) {
+	lc := s.getLoop()
+	if lc == nil {
+		return nil, errLoopDisabled
+	}
+	var req labelRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Flow == "" {
+		return nil, badRequest("no flow submitted")
+	}
+	accepted, size, err := lc.SubmitLabel(req.Flow, synth.QoR{
+		Area: req.Area, Delay: req.Delay,
+		Gates: req.Gates, Ands: req.Ands, Levels: req.Levels,
+	})
+	if err != nil {
+		return nil, badRequest("%s", err.Error())
+	}
+	return labelResponse{Accepted: accepted, DatasetSize: size}, nil
 }
 
 // ----------------------------------------------------------------- stats
@@ -523,6 +701,7 @@ type statsResponse struct {
 	SIMD          string                   `json:"simd"` // active tier for new snapshots
 	CPUFeatures   string                   `json:"cpu_features,omitempty"`
 	Models        map[string]ModelStats    `json:"models"`
+	Loop          any                      `json:"loop,omitempty"` // loop.Status when a loop is attached
 }
 
 // ModelStats describes one registered model's serving engine: the
@@ -545,6 +724,9 @@ func (s *Server) handleStats(*http.Request) (any, error) {
 		SIMD:          tensor.ActiveSIMD().String(),
 		CPUFeatures:   tensor.CPUFeatures(),
 		Models:        map[string]ModelStats{},
+	}
+	if lc := s.getLoop(); lc != nil {
+		out.Loop = lc.LoopStatus()
 	}
 	for _, m := range s.Registry.List() {
 		out.Models[m.Name] = ModelStats{

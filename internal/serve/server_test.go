@@ -128,7 +128,7 @@ func TestServerPredict(t *testing.T) {
 		t.Fatalf("bad flow: %d", code)
 	}
 	if code, _ := postJSON(t, ts.URL+"/v1/predict",
-		predictRequest{Model: "ghost", Flows: texts[:1]}, nil); code != http.StatusBadRequest {
+		predictRequest{Model: "ghost", Flows: texts[:1]}, nil); code != http.StatusNotFound {
 		t.Fatalf("unknown model: %d", code)
 	}
 }

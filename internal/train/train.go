@@ -75,6 +75,22 @@ func (d *Dataset) Tensor() *tensor.Tensor {
 	return x
 }
 
+// Source returns an nn.Source streaming the dataset's samples, so any
+// nn.Predictor can evaluate the set without materializing one
+// dataset-sized tensor. Only the canonical float64 fill is supplied;
+// the typed engines derive their representations (exact for the 0/1
+// one-hot flow encodings datasets hold).
+func (d *Dataset) Source() nn.Source {
+	hw := d.H * d.W
+	return nn.Source{
+		Fill64: func(dst []float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				copy(dst[(i-lo)*hw:(i-lo+1)*hw], d.X[i])
+			}
+		},
+	}
+}
+
 // Trainer drives mini-batch gradient descent.
 type Trainer struct {
 	Net       *nn.Network
@@ -169,44 +185,32 @@ func AccuracyWorkers(net *nn.Network, d *Dataset, workers int) float64 {
 }
 
 // AccuracyPrec is AccuracyWorkers with an explicit inference precision:
-// nn.F32 snapshots the network into the packed float32 engine for the
-// evaluation (the incremental framework's per-round accuracy goes
-// through this with its configured precision), nn.Int8 quantizes the
-// snapshot and streams bit-packed encodings (dataset samples are the
-// one-hot flow encodings, exactly 0/1), nn.F64 keeps training numerics.
+// the network is compiled once into the engine prec selects
+// (nn.NewPredictor) and the dataset streams through it. The incremental
+// framework's per-round accuracy goes through this with its configured
+// precision.
 func AccuracyPrec(net *nn.Network, d *Dataset, workers int, prec nn.Precision) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
-	hw := d.H * d.W
-	inWords := (hw + 63) / 64
-	probs, err := nn.PredictStreamPrec(context.Background(), net, prec, d.Len(), d.H, d.W, workers,
-		func(dst []float64, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				copy(dst[(i-lo)*hw:(i-lo+1)*hw], d.X[i])
-			}
-		},
-		func(dst []float32, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				row := dst[(i-lo)*hw : (i-lo+1)*hw]
-				for j, v := range d.X[i] {
-					row[j] = float32(v)
-				}
-			}
-		},
-		func(dst []uint64, lo, hi int) {
-			for i := range dst {
-				dst[i] = 0
-			}
-			for i := lo; i < hi; i++ {
-				base := (i - lo) * inWords
-				for p, v := range d.X[i] {
-					if v != 0 {
-						dst[base+p>>6] |= 1 << (uint(p) & 63)
-					}
-				}
-			}
-		})
+	pred, err := nn.NewPredictor(net, prec, d.H, d.W)
+	if err != nil {
+		panic("train: accuracy prediction failed: " + err.Error())
+	}
+	return AccuracyPredictor(pred, d, workers)
+}
+
+// AccuracyPredictor evaluates dataset accuracy through an already
+// compiled nn.Predictor — the engine-agnostic core of every accuracy
+// gate (per-round framework evaluation, the continuous-retraining
+// loop's candidate-vs-serving comparison). Samples stream into
+// chunk-sized worker buffers; the predictor's native representation is
+// derived from the dataset's float64 encodings.
+func AccuracyPredictor(pred nn.Predictor, d *Dataset, workers int) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	probs, err := pred.PredictStream(context.Background(), d.Len(), workers, d.Source())
 	if err != nil {
 		panic("train: accuracy prediction failed: " + err.Error())
 	}
