@@ -30,6 +30,12 @@
 //	POST /v1/label                   {"flow":"...","area":812,"delay":403} — external ground truth
 //	GET  /v1/loop/status             labeler/retrainer counters (404 unless -loop)
 //	GET  /v1/stats                   per-endpoint latency, batcher, cache and loop counters
+//	GET  /metrics                    Prometheus text-format exposition
+//
+// Logs are structured (log/slog) on stderr; -log-format json -log-level
+// debug emits one JSON line per request stage, each stamped with the
+// request's trace ID (X-Request-ID). -debug-addr starts a separate
+// net/http/pprof listener (off by default, never on the serving port).
 package main
 
 import (
@@ -37,7 +43,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -49,6 +57,7 @@ import (
 	"flowgen/internal/circuits"
 	"flowgen/internal/cliflags"
 	"flowgen/internal/loop"
+	"flowgen/internal/obs"
 	"flowgen/internal/serve"
 	"flowgen/internal/synth"
 )
@@ -74,8 +83,19 @@ func main() {
 		labelWorkers = cliflags.Workers(flag.CommandLine, "label-workers", "synthesis workers labeling queued flows (0 = half the CPUs, so labeling never starves serving)")
 		journalPath  = flag.String("journal", "", "labeled-flow journal path (default <model path>.labels; in-memory for a pathless -bootstrap model)")
 		seed         = cliflags.Seed(flag.CommandLine, 1)
+
+		logFormat = cliflags.LogFormat(flag.CommandLine)
+		logLevel  = cliflags.LogLevel(flag.CommandLine)
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err) // unreachable: cliflags validates at Parse
+	}
+	slog.SetDefault(logger)
+	obs.RegisterProcessMetrics(obs.Default())
 
 	prec := *precision
 	reg := serve.NewRegistry()
@@ -89,8 +109,8 @@ func main() {
 		}
 		m.Precision = prec
 		reg.Register(m)
-		fmt.Fprintf(os.Stderr, "flowserve: loaded %s@v%d from %s (%d params, %d classes)\n",
-			m.Name, m.Version, path, m.Net.NumParams(), m.Arch.NumClasses)
+		slog.Info("flowserve: loaded model", "model", m.Name, "version", m.Version,
+			"path", path, "params", m.Net.NumParams(), "classes", m.Arch.NumClasses)
 		return nil
 	}
 	if *modelFile != "" {
@@ -117,8 +137,7 @@ func main() {
 		boot := serve.BootstrapModel(*bootstrap)
 		boot.Precision = prec
 		m := reg.Register(boot)
-		fmt.Fprintf(os.Stderr, "flowserve: bootstrapped untrained model %s (%d params)\n",
-			m.Name, m.Net.NumParams())
+		slog.Info("flowserve: bootstrapped untrained model", "model", m.Name, "params", m.Net.NumParams())
 	}
 	if len(reg.List()) == 0 {
 		fatal(errors.New("no models to serve (use -models, -model or -bootstrap)"))
@@ -133,6 +152,7 @@ func main() {
 	cfg.Batcher = serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queueCap, Workers: *workers}
 	cfg.CacheSize = *cacheN
 	cfg.MaxPool = *maxPool
+	cfg.Obs = obs.Default() // one exposition: server + loop + process + predictor compiles
 	srv := serve.NewServer(reg, cfg)
 	defer srv.Close()
 
@@ -149,12 +169,15 @@ func main() {
 		if journal == "" && target.Path != "" {
 			journal = target.Path + ".labels"
 		}
-		lp, err := loop.New(reg, synth.NewEngine(d.Build(), target.Space), loop.Config{
+		eng := synth.NewEngine(d.Build(), target.Space)
+		eng.RegisterMetrics(obs.Default())
+		lp, err := loop.New(reg, eng, loop.Config{
 			ModelName:    target.Name,
 			RetrainEvery: *retrainEvery,
 			LabelWorkers: *labelWorkers,
 			JournalPath:  journal,
 			Seed:         *seed,
+			Obs:          obs.Default(),
 		})
 		if err != nil {
 			fatal(err)
@@ -168,8 +191,8 @@ func main() {
 		if persist == "" {
 			persist = "in-memory"
 		}
-		fmt.Fprintf(os.Stderr, "flowserve: loop enabled — labeling %s flows on %q, retraining every %d labels (journal: %s)\n",
-			target.Name, *loopDesign, *retrainEvery, persist)
+		slog.Info("flowserve: loop enabled", "model", target.Name, "design", *loopDesign,
+			"retrain_every", *retrainEvery, "journal", persist)
 	}
 
 	if *watch > 0 {
@@ -178,18 +201,35 @@ func main() {
 		defer stopWatch()
 		go watcher.Run(watchCtx, *watch, func(ev serve.WatchEvent) {
 			if ev.Err != nil {
-				fmt.Fprintf(os.Stderr, "flowserve: watch reload %s failed: %v\n", ev.Name, ev.Err)
+				slog.Error("flowserve: watch reload failed", "model", ev.Name, "error", ev.Err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "flowserve: model file changed — %s now v%d\n", ev.Name, ev.Version)
+			slog.Info("flowserve: model file changed", "model", ev.Name, "version", ev.Version)
 		})
+	}
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener and mux so the profiling
+		// surface is never exposed on the serving port.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			slog.Info("flowserve: pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				slog.Error("flowserve: pprof listener failed", "error", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "flowserve: serving %d model(s) on http://%s (default %q, %s engine)\n",
-		len(reg.List()), *addr, reg.DefaultName(), prec)
+	slog.Info("flowserve: serving", "models", len(reg.List()), "addr", *addr,
+		"default", reg.DefaultName(), "engine", prec.String())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -197,7 +237,7 @@ func main() {
 	case err := <-errCh:
 		fatal(err)
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "flowserve: %v — draining\n", s)
+		slog.Info("flowserve: draining", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -207,6 +247,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "flowserve:", err)
+	slog.Error("flowserve: fatal", "error", err)
 	os.Exit(1)
 }

@@ -21,6 +21,10 @@
 package flowgen
 
 import (
+	"context"
+	"io"
+	"log/slog"
+
 	"flowgen/internal/aig"
 	"flowgen/internal/circuits"
 	"flowgen/internal/core"
@@ -28,6 +32,7 @@ import (
 	"flowgen/internal/label"
 	"flowgen/internal/loop"
 	"flowgen/internal/nn"
+	"flowgen/internal/obs"
 	"flowgen/internal/serve"
 	"flowgen/internal/synth"
 )
@@ -98,6 +103,15 @@ type (
 	// ServeWatcher hot-reloads file-backed models when their files
 	// change (flowserve -watch).
 	ServeWatcher = serve.Watcher
+	// MetricRegistry holds named metric families (counters, gauges,
+	// latency histograms) with Prometheus text exposition (DESIGN.md §9).
+	MetricRegistry = obs.Registry
+	// LatencyHistogram is the lock-free log-bucketed histogram behind
+	// every duration metric; its observe path is allocation-free.
+	LatencyHistogram = obs.Histogram
+	// Trace carries one request's trace ID and stage spans through
+	// context.Context across server, batcher, predictor and loop.
+	Trace = obs.Trace
 )
 
 // Metric values.
@@ -200,3 +214,33 @@ func SaveServeModel(path string, m *ServeModel) error { return serve.SaveModel(p
 
 // LoadServeModel reads a model file written by SaveServeModel.
 func LoadServeModel(path string) (*ServeModel, error) { return serve.LoadModelFile(path) }
+
+// NewMetricRegistry returns an empty metric registry; serve its
+// Handler() as GET /metrics, or pass it through ServerConfig.Obs.
+func NewMetricRegistry() *MetricRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide metric registry that
+// package-level instrumentation (predictor compiles, trainer steps)
+// records into; cmd/flowserve exposes it on /metrics.
+func DefaultMetrics() *MetricRegistry { return obs.Default() }
+
+// NewLogger builds the structured slog logger the commands install as
+// slog.Default: text or json format at the given level ("debug",
+// "info", "warn", "error"), stamping every context-carrying log record
+// with its request's trace ID.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lvl, err := obs.ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(w, format, lvl)
+}
+
+// WithTrace derives a context carrying a request trace: id is honored
+// when non-empty (a client-supplied X-Request-ID), otherwise generated.
+func WithTrace(ctx context.Context, id string) (context.Context, *Trace) {
+	return obs.WithTrace(ctx, id)
+}
+
+// TraceID returns the trace ID carried by ctx ("" when untraced).
+func TraceID(ctx context.Context) string { return obs.TraceID(ctx) }

@@ -9,10 +9,12 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"strings"
 
 	"flowgen/internal/circuits"
 	"flowgen/internal/nn"
+	"flowgen/internal/obs"
 )
 
 // PrecisionUsage is the default -precision help text; commands with a
@@ -98,4 +100,60 @@ func Memo(fs *flag.FlagSet) *bool {
 // own documented default).
 func Workers(fs *flag.FlagSet, name, usage string) *int {
 	return fs.Int(name, 0, usage)
+}
+
+// logFormatValue validates -log-format through obs.ParseLogFormat at
+// parse time, so "-log-format xml" fails with the flag parser's usage
+// output instead of deep inside main.
+type logFormatValue struct{ f *string }
+
+func (v logFormatValue) String() string {
+	if v.f == nil {
+		return obs.LogFormatText
+	}
+	return *v.f
+}
+
+func (v logFormatValue) Set(s string) error {
+	f, err := obs.ParseLogFormat(s)
+	if err != nil {
+		return err
+	}
+	*v.f = f
+	return nil
+}
+
+// LogFormat registers -log-format (text or json, default text).
+func LogFormat(fs *flag.FlagSet) *string {
+	f := obs.LogFormatText
+	fs.Var(logFormatValue{&f}, "log-format", "structured log format: text or json")
+	return &f
+}
+
+// logLevelValue validates -log-level through obs.ParseLogLevel at
+// parse time.
+type logLevelValue struct{ l *slog.Level }
+
+func (v logLevelValue) String() string {
+	if v.l == nil {
+		return strings.ToLower(slog.LevelInfo.String())
+	}
+	return strings.ToLower(v.l.String())
+}
+
+func (v logLevelValue) Set(s string) error {
+	l, err := obs.ParseLogLevel(s)
+	if err != nil {
+		return err
+	}
+	*v.l = l
+	return nil
+}
+
+// LogLevel registers -log-level (debug, info, warn or error; default
+// info).
+func LogLevel(fs *flag.FlagSet) *slog.Level {
+	l := slog.LevelInfo
+	fs.Var(logLevelValue{&l}, "log-level", "minimum log level: debug, info, warn or error")
+	return &l
 }

@@ -3,10 +3,12 @@ package cliflags
 import (
 	"flag"
 	"io"
+	"log/slog"
 	"strings"
 	"testing"
 
 	"flowgen/internal/nn"
+	"flowgen/internal/obs"
 )
 
 func newFS() *flag.FlagSet {
@@ -70,6 +72,40 @@ func TestDesignFlag(t *testing.T) {
 	err := fs.Parse([]string{"-design", "pentium4"})
 	if err == nil || !strings.Contains(err.Error(), "alu16") {
 		t.Fatalf("unknown design must fail at Parse listing known names, got %v", err)
+	}
+}
+
+func TestLogFlags(t *testing.T) {
+	fs := newFS()
+	format := LogFormat(fs)
+	level := LogLevel(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *format != obs.LogFormatText || *level != slog.LevelInfo {
+		t.Fatalf("defaults format=%q level=%v, want text/info", *format, *level)
+	}
+
+	fs = newFS()
+	format = LogFormat(fs)
+	level = LogLevel(fs)
+	if err := fs.Parse([]string{"-log-format", "JSON", "-log-level", "Debug"}); err != nil {
+		t.Fatal(err)
+	}
+	if *format != obs.LogFormatJSON || *level != slog.LevelDebug {
+		t.Fatalf("parsed format=%q level=%v, want json/debug", *format, *level)
+	}
+
+	// Bad values fail at flag.Parse, not later in main.
+	fs = newFS()
+	LogFormat(fs)
+	if err := fs.Parse([]string{"-log-format", "xml"}); err == nil || !strings.Contains(err.Error(), "xml") {
+		t.Fatalf("bad log format must fail at Parse, got %v", err)
+	}
+	fs = newFS()
+	LogLevel(fs)
+	if err := fs.Parse([]string{"-log-level", "loud"}); err == nil || !strings.Contains(err.Error(), "loud") {
+		t.Fatalf("bad log level must fail at Parse, got %v", err)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"runtime"
@@ -35,6 +36,7 @@ import (
 	"flowgen/internal/flow"
 	"flowgen/internal/label"
 	"flowgen/internal/nn"
+	"flowgen/internal/obs"
 	"flowgen/internal/opt"
 	"flowgen/internal/serve"
 	"flowgen/internal/synth"
@@ -106,6 +108,13 @@ type Config struct {
 	// watcher-driven reloads keep working; a pathless bootstrap model
 	// publishes in-memory only).
 	SavePath string
+
+	// Obs receives the loop's metrics: queue depth and corpus-size
+	// gauges, the labeling/retraining counters (labels-per-second is
+	// derived by the collector from flowgen_loop_labeled_total), retrain
+	// duration quantiles and the last loss/accuracy gauges. Nil keeps
+	// the metrics functional but unregistered.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +218,13 @@ type Loop struct {
 	lastVersion                   int
 	lastPublish                   time.Time
 	lastErr                       string
+
+	// Observability series (non-nil even without a Config.Obs — a nil
+	// *obs.Registry hands out functional unregistered metrics).
+	obsRetrainDur *obs.Histogram
+	obsLastLoss   *obs.Gauge
+	obsCandAcc    *obs.Gauge
+	obsServAcc    *obs.Gauge
 }
 
 // New builds a loop retraining the named registry model, labeling
@@ -251,7 +267,44 @@ func New(reg *serve.Registry, eng *synth.Engine, cfg Config) (*Loop, error) {
 	}
 	// A replayed journal may already hold enough samples to retrain.
 	l.newSince.Store(int64(store.Len()))
+	l.registerMetrics(cfg.Obs)
 	return l, nil
+}
+
+// registerMetrics exports the loop's state on o. The counters are
+// callback-backed over the loop's existing atomics so there is exactly
+// one source of truth for /v1/loop/status and /metrics.
+func (l *Loop) registerMetrics(o *obs.Registry) {
+	o.GaugeFunc("flowgen_loop_queue_depth",
+		"Labeling candidates queued and awaiting evaluation.",
+		func() float64 { return float64(len(l.queue)) })
+	o.GaugeFunc("flowgen_loop_dataset_size",
+		"Labeled samples in the training corpus.",
+		func() float64 { return float64(l.store.Len()) })
+	for _, c := range []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"flowgen_loop_observed_total", "Flows observed from the serving endpoints.", &l.observed},
+		{"flowgen_loop_dropped_total", "Observed flows dropped because the queue was full.", &l.dropped},
+		{"flowgen_loop_explored_total", "Exploration flows sampled to top up labeler rounds.", &l.explored},
+		{"flowgen_loop_labeled_total", "Flows labeled through the synthesis engine (rate() of this is labels per second).", &l.labeled},
+		{"flowgen_loop_label_errors_total", "Labeling evaluations that failed.", &l.labelErrors},
+		{"flowgen_loop_submitted_total", "Externally measured labels accepted via /v1/label.", &l.submitted},
+		{"flowgen_loop_retrains_total", "Retraining rounds started.", &l.retrains},
+		{"flowgen_loop_gate_accept_total", "Retrained candidates that cleared the accuracy gate and published.", &l.published},
+		{"flowgen_loop_gate_reject_total", "Retrained candidates rejected by the accuracy gate.", &l.rejected},
+	} {
+		o.CounterFunc(c.name, c.help, c.v.Load)
+	}
+	l.obsRetrainDur = o.DurationHistogram("flowgen_loop_retrain_duration_seconds",
+		"Wall time of one retraining round: refit, train, gate, publish.")
+	l.obsLastLoss = o.Gauge("flowgen_loop_last_loss",
+		"Final training loss of the most recent retraining round.")
+	l.obsCandAcc = o.Gauge("flowgen_loop_candidate_accuracy",
+		"Held-out accuracy of the most recent retrained candidate.")
+	l.obsServAcc = o.Gauge("flowgen_loop_serving_accuracy",
+		"Held-out accuracy of the serving model at the most recent gate.")
 }
 
 // Store exposes the labeled corpus (for tests and stats).
@@ -278,10 +331,12 @@ func (l *Loop) Run(ctx context.Context) {
 }
 
 // Observe enqueues served flows as labeling candidates — the serve
-// layer calls this from the predict/recommend handlers. Flows already
-// labeled or already queued are skipped; when the queue is full the
-// flows are dropped (and counted), never blocking the request path.
-func (l *Loop) Observe(flows []flow.Flow) {
+// layer calls this from the predict/recommend handlers with the
+// request's trace-carrying context. Flows already labeled or already
+// queued are skipped; when the queue is full the flows are dropped
+// (and counted), never blocking the request path.
+func (l *Loop) Observe(ctx context.Context, flows []flow.Flow) {
+	enqueued := 0
 	for _, f := range flows {
 		l.observed.Add(1)
 		if l.space.Validate(f) != nil || l.store.Has(f) {
@@ -297,10 +352,15 @@ func (l *Loop) Observe(flows []flow.Flow) {
 		case l.queue <- f:
 			l.queued[key] = struct{}{}
 			l.mu.Unlock()
+			enqueued++
 		default:
 			l.mu.Unlock()
 			l.dropped.Add(1)
 		}
+	}
+	if enqueued > 0 {
+		slog.DebugContext(ctx, "loop: queued labeling candidates",
+			"observed", len(flows), "queued", enqueued)
 	}
 }
 
@@ -508,6 +568,7 @@ func (l *Loop) retrainLoop(ctx context.Context) {
 // retrain runs one labeling-model refit + warm-start training round and
 // publishes the candidate if it clears the accuracy gate.
 func (l *Loop) retrain(ctx context.Context) error {
+	defer l.obsRetrainDur.ObserveSince(time.Now())
 	round := l.retrains.Add(1)
 	cur, err := l.reg.Get(l.cfg.ModelName)
 	if err != nil {
@@ -565,11 +626,17 @@ func (l *Loop) retrain(ctx context.Context) error {
 	l.mu.Lock()
 	l.lastLoss, l.lastCand, l.lastServ = loss, candAcc, curAcc
 	l.mu.Unlock()
+	l.obsLastLoss.Set(loss)
+	l.obsCandAcc.Set(candAcc)
+	l.obsServAcc.Set(curAcc)
 
 	if candAcc+l.cfg.GateSlack < curAcc {
 		l.rejected.Add(1)
 		l.setErr(fmt.Sprintf("round %d rejected: candidate holdout accuracy %.4f vs serving %.4f",
 			round, candAcc, curAcc))
+		slog.WarnContext(ctx, "loop: candidate rejected by accuracy gate",
+			"model", cur.Name, "round", round,
+			"candidate_acc", candAcc, "serving_acc", curAcc, "loss", loss)
 		return nil
 	}
 
@@ -594,6 +661,10 @@ func (l *Loop) retrain(ctx context.Context) error {
 	l.lastPublish = time.Now()
 	l.lastErr = ""
 	l.mu.Unlock()
+	slog.InfoContext(ctx, "loop: published retrained model",
+		"model", installed.Name, "version", installed.Version,
+		"candidate_acc", candAcc, "serving_acc", curAcc, "loss", loss,
+		"corpus", len(flows))
 	return nil
 }
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
+	"flowgen/internal/obs"
 	"flowgen/internal/tensor"
 )
 
@@ -153,6 +155,9 @@ func (s *fillScratch[T]) put(b []T) {
 // weights (f32/int8) or shares them (f64 — later training steps are
 // visible); either way it is immutable API-wise and concurrency-safe.
 func NewPredictor(net *Network, prec Precision, inH, inW int) (Predictor, error) {
+	defer obs.Default().DurationHistogram("flowgen_predictor_compile_seconds",
+		"Wall time to compile a trained network into a serving engine.",
+		obs.Label{Key: "precision", Value: prec.String()}).ObserveSince(time.Now())
 	switch prec {
 	case F32:
 		return NewInferenceNet(net, inH, inW)

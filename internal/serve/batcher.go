@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
+	"flowgen/internal/obs"
 	"flowgen/internal/tensor"
 )
 
@@ -34,6 +36,11 @@ type BatcherConfig struct {
 	// Workers shards each flushed batch across prediction workers
 	// (≤0 selects GOMAXPROCS).
 	Workers int
+	// Obs receives the batcher's metrics (queue depth, batch-size
+	// distribution, shed count, flush latency), labeled with ObsModel.
+	// Nil keeps the metrics functional but unregistered.
+	Obs      *obs.Registry
+	ObsModel string
 }
 
 // DefaultBatcherConfig returns production-shaped defaults: batches up
@@ -103,7 +110,15 @@ type Batcher struct {
 	quitStop context.CancelFunc
 	closed   atomic.Bool
 	xbuf     []float64 // flush input buffer, owned by the scheduler goroutine
-	stats    struct {
+
+	// Observability series (always non-nil: a nil cfg.Obs hands out
+	// functional unregistered metrics, so the hot paths need no guards).
+	obsBatchSize *obs.Histogram // flows per flushed batch
+	obsFlushDur  *obs.Histogram // flush wall time, ns
+	obsWait      *obs.Histogram // submit-to-response latency, ns
+	obsShed      *obs.Counter   // queue-full rejections
+
+	stats struct {
 		requests, rejected, cancelled atomic.Int64
 		batches, flows, errors        atomic.Int64
 		maxBatch                      atomic.Int64
@@ -128,6 +143,18 @@ func NewBatcher(resolve func() (*Model, error), cfg BatcherConfig) *Batcher {
 		quit:    make(chan struct{}),
 	}
 	b.quitCtx, b.quitStop = context.WithCancel(context.Background())
+	lbl := obs.Label{Key: "model", Value: cfg.ObsModel}
+	cfg.Obs.GaugeFunc("flowgen_batcher_queue_depth",
+		"Prediction requests queued and awaiting a batch.",
+		func() float64 { return float64(len(b.queue)) }, lbl)
+	b.obsBatchSize = cfg.Obs.Histogram("flowgen_batcher_batch_size",
+		"Flows coalesced per flushed micro-batch.", lbl)
+	b.obsFlushDur = cfg.Obs.DurationHistogram("flowgen_batcher_flush_duration_seconds",
+		"Wall time of one batch flush: resolve, forward pass, distribute.", lbl)
+	b.obsWait = cfg.Obs.DurationHistogram("flowgen_batcher_wait_seconds",
+		"Submit-to-response latency including queueing and coalescing.", lbl)
+	b.obsShed = cfg.Obs.Counter("flowgen_batcher_shed_total",
+		"Submissions rejected because the request queue was full.", lbl)
 	go b.loop()
 	return b
 }
@@ -159,6 +186,8 @@ func (b *Batcher) Stats() BatcherStats {
 // encoding for the batcher's model and is retained until the response.
 // Submits never block on a full queue — they fail with ErrQueueFull.
 func (b *Batcher) Submit(ctx context.Context, enc []float64) (Prediction, error) {
+	span := obs.StartSpan(ctx, "batch", b.obsWait)
+	defer span()
 	r := &request{enc: enc, ctx: ctx, done: make(chan result, 1)}
 	select {
 	case <-b.quit:
@@ -173,6 +202,7 @@ func (b *Batcher) Submit(ctx context.Context, enc []float64) (Prediction, error)
 		b.stats.requests.Add(1)
 	default:
 		b.stats.rejected.Add(1)
+		b.obsShed.Inc()
 		return Prediction{}, ErrQueueFull
 	}
 	select {
@@ -181,6 +211,8 @@ func (b *Batcher) Submit(ctx context.Context, enc []float64) (Prediction, error)
 			return Prediction{}, res.err
 		}
 		cls := argmax(res.probs)
+		slog.DebugContext(ctx, "batcher: scored flow",
+			"model", res.model.Name, "version", res.model.Version, "class", cls)
 		return Prediction{Probs: res.probs, Class: cls, Confidence: res.probs[cls], Model: res.model}, nil
 	case <-ctx.Done():
 		// The request stays queued; the flush skips it (its context is
@@ -244,6 +276,7 @@ func (b *Batcher) gather(first *request) []*request {
 // abandoned, so a batch of dead requests stops burning inference
 // workers mid-shard.
 func (b *Batcher) flush(batch []*request) {
+	defer b.obsFlushDur.ObserveSince(time.Now())
 	m, err := b.resolve()
 	if err != nil {
 		b.stats.errors.Add(1)
@@ -320,6 +353,7 @@ func (b *Batcher) flush(batch []*request) {
 	}
 	b.stats.batches.Add(1)
 	b.stats.flows.Add(int64(len(live)))
+	b.obsBatchSize.Observe(int64(len(live)))
 	if n := int64(len(live)); n > b.stats.maxBatch.Load() {
 		b.stats.maxBatch.Store(n)
 	}

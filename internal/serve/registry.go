@@ -33,6 +33,7 @@ import (
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
 	"flowgen/internal/nn"
+	"flowgen/internal/obs"
 	"flowgen/internal/tensor"
 )
 
@@ -247,6 +248,7 @@ type Registry struct {
 	mu      sync.Mutex // serializes mutations only
 	snap    atomic.Pointer[registrySnap]
 	reloads atomic.Int64
+	obs     atomic.Pointer[obs.Registry]
 }
 
 type registrySnap struct {
@@ -293,7 +295,40 @@ func (r *Registry) Register(m *Model) *Model {
 		next.defaultName = m.Name
 	}
 	r.snap.Store(next)
+	if o := r.obs.Load(); o != nil {
+		o.Counter("flowgen_model_registrations_total",
+			"Model (re)registrations, including hot reloads.",
+			obs.Label{Key: "model", Value: m.Name}).Inc()
+		o.Gauge("flowgen_model_version",
+			"Active version of each registered model.",
+			obs.Label{Key: "model", Value: m.Name}).Set(float64(m.Version))
+	}
 	return m
+}
+
+// SetObs attaches an observability registry: version gauges and a
+// registration counter per model, plus the cumulative hot-reload count.
+// Models registered before the call are backfilled; a nil registry is a
+// no-op.
+func (r *Registry) SetObs(o *obs.Registry) {
+	if o == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs.Store(o)
+	o.CounterFunc("flowgen_model_reloads_total",
+		"Successful hot reloads across all models.", r.Reloads)
+	for _, m := range r.snap.Load().byName {
+		o.Gauge("flowgen_model_version",
+			"Active version of each registered model.",
+			obs.Label{Key: "model", Value: m.Name}).Set(float64(m.Version))
+		// Materialize the counter series at 0 so each model's family is
+		// scrapeable before its first post-attach registration.
+		o.Counter("flowgen_model_registrations_total",
+			"Model (re)registrations, including hot reloads.",
+			obs.Label{Key: "model", Value: m.Name})
+	}
 }
 
 // SetDefault makes name the model served when requests omit one.

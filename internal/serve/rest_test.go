@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -21,7 +22,7 @@ type fakeLoop struct {
 
 func newFakeLoop() *fakeLoop { return &fakeLoop{labels: map[string]synth.QoR{}} }
 
-func (f *fakeLoop) Observe(flows []flow.Flow) {
+func (f *fakeLoop) Observe(_ context.Context, flows []flow.Flow) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.observed = append(f.observed, flows...)

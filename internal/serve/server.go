@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"flowgen/internal/core"
 	"flowgen/internal/flow"
 	"flowgen/internal/nn"
+	"flowgen/internal/obs"
 	"flowgen/internal/synth"
 	"flowgen/internal/tensor"
 )
@@ -30,7 +32,9 @@ import (
 //   - LoopStatus returns the loop's JSON-serializable status snapshot
 //     (/v1/loop/status, and the loop block of /v1/stats).
 type LoopController interface {
-	Observe(flows []flow.Flow)
+	// Observe receives the request context so the loop can stamp its
+	// log lines with the originating trace ID.
+	Observe(ctx context.Context, flows []flow.Flow)
 	SubmitLabel(flowText string, q synth.QoR) (accepted bool, size int, err error)
 	LoopStatus() any
 }
@@ -45,6 +49,11 @@ type ServerConfig struct {
 	// service).
 	MaxFlows int
 	MaxPool  int
+	// Obs is the metric registry the server (and the batchers it
+	// spawns) records into and GET /metrics exposes. nil gives the
+	// server a private registry — cmd/flowserve passes obs.Default()
+	// so server, loop and process metrics share one exposition.
+	Obs *obs.Registry
 }
 
 // DefaultServerConfig returns production-shaped limits.
@@ -57,20 +66,32 @@ func DefaultServerConfig() ServerConfig {
 	}
 }
 
-// endpointMetrics aggregates one endpoint's traffic counters.
-type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	totalNS  atomic.Int64
-	maxNS    atomic.Int64
+// endpointObs bundles one logical endpoint's instruments: a latency
+// histogram (whose count doubles as the request counter) and an error
+// counter, both registered on the server's obs registry.
+type endpointObs struct {
+	hist   *obs.Histogram
+	errors *obs.Counter
 }
 
-// EndpointStats is the JSON form of one endpoint's counters.
+// EndpointStats is the JSON form of one endpoint's counters. Every
+// field is cumulative over the process lifetime: requests/errors are
+// running totals, mean is total-time/total-requests, max the largest
+// single request ever, and the quantiles are extracted from the same
+// lifetime histogram. There is deliberately no reset or sliding
+// window here — windowed views (requests/sec, p99 over the last
+// minute) come from scraping GET /metrics periodically and letting the
+// collector difference the counters (rate()/histogram math), which
+// composes across replicas; /v1/stats stays a one-shot cumulative
+// debugging view.
 type EndpointStats struct {
 	Requests  int64   `json:"requests"`
 	Errors    int64   `json:"errors"`
 	MeanMicro float64 `json:"mean_latency_us"`
 	MaxMicro  float64 `json:"max_latency_us"`
+	P50Micro  float64 `json:"p50_latency_us"`
+	P95Micro  float64 `json:"p95_latency_us"`
+	P99Micro  float64 `json:"p99_latency_us"`
 }
 
 // Server exposes a Registry over JSON HTTP: prediction (micro-batched
@@ -81,6 +102,7 @@ type Server struct {
 	Registry *Registry
 	cfg      ServerConfig
 	cache    *Cache
+	obs      *obs.Registry
 	start    time.Time
 
 	mu       sync.Mutex
@@ -88,7 +110,8 @@ type Server struct {
 	closed   bool
 
 	loop    atomic.Value // LoopController, when a loop is attached
-	metrics sync.Map     // endpoint name → *endpointMetrics
+	metrics sync.Map     // endpoint name → *endpointObs
+	stages  sync.Map     // stage name → *obs.Histogram (span timings)
 }
 
 // SetLoop attaches the continuous flow-development loop: served flows
@@ -103,9 +126,9 @@ func (s *Server) getLoop() LoopController {
 }
 
 // observe forwards flows to the attached loop, if any.
-func (s *Server) observe(flows []flow.Flow) {
+func (s *Server) observe(ctx context.Context, flows []flow.Flow) {
 	if lc := s.getLoop(); lc != nil {
-		lc.Observe(flows)
+		lc.Observe(ctx, flows)
 	}
 }
 
@@ -118,14 +141,35 @@ func NewServer(reg *Registry, cfg ServerConfig) *Server {
 	if cfg.MaxPool < 1 {
 		cfg.MaxPool = 1
 	}
-	return &Server{
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	s := &Server{
 		Registry: reg,
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheSize),
+		obs:      cfg.Obs,
 		start:    time.Now(),
 		batchers: map[string]*Batcher{},
 	}
+	// Cache and model-registry health ride the same exposition: the
+	// cache keeps its own atomics (callback-backed series), the model
+	// registry gains version gauges and registration counters.
+	s.obs.CounterFunc("flowgen_cache_hits_total", "scored-flow cache hits",
+		func() int64 { return s.cache.hits.Load() })
+	s.obs.CounterFunc("flowgen_cache_misses_total", "scored-flow cache misses",
+		func() int64 { return s.cache.misses.Load() })
+	s.obs.CounterFunc("flowgen_cache_evictions_total", "scored-flow cache LRU evictions",
+		func() int64 { return s.cache.evicts.Load() })
+	s.obs.GaugeFunc("flowgen_cache_size", "scored-flow cache resident entries",
+		func() float64 { return float64(s.cache.Stats().Size) })
+	reg.SetObs(s.obs)
+	return s
 }
+
+// Obs returns the server's metric registry (the one GET /metrics
+// exposes), so embedders can add their own series to the exposition.
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // Close stops every batcher the server started; later requests that
 // need a batcher fail with ErrClosed instead of resurrecting one.
@@ -152,7 +196,9 @@ func (s *Server) batcherFor(name string) (*Batcher, error) {
 	if b, ok := s.batchers[name]; ok {
 		return b, nil
 	}
-	b := NewBatcher(func() (*Model, error) { return s.Registry.Get(name) }, s.cfg.Batcher)
+	bcfg := s.cfg.Batcher
+	bcfg.Obs, bcfg.ObsModel = s.obs, name
+	b := NewBatcher(func() (*Model, error) { return s.Registry.Get(name) }, bcfg)
 	s.batchers[name] = b
 	return b, nil
 }
@@ -174,7 +220,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /v1/loop/status", s.instrument("loop_status", s.handleLoopStatus))
 	mux.HandleFunc("POST /v1/label", s.instrument("label", s.handleLabel))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleMetrics serves the Prometheus text exposition. It bypasses the
+// JSON instrument wrapper (the body is text format, not an envelope)
+// but still records into its own endpoint bucket, so scrape overhead is
+// visible like any other endpoint's.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.endpointObs("metrics")
+	t0 := time.Now()
+	s.obs.Handler().ServeHTTP(w, r)
+	m.hist.ObserveSince(t0)
 }
 
 // httpError is an error with a dedicated HTTP status and a stable
@@ -225,41 +283,67 @@ func renderError(err error) (int, errorEnvelope) {
 	return status, errorEnvelope{Error: errorInfo{Code: code, Message: err.Error()}}
 }
 
-// metricFor returns the shared counter bucket for a logical endpoint —
-// shared, so route aliases (legacy and RESTful reload) aggregate into
-// one entry.
-func (s *Server) metricFor(name string) *endpointMetrics {
+// endpointObs returns the shared instrument bucket for a logical
+// endpoint — shared, so route aliases (legacy and RESTful reload)
+// aggregate into one histogram/counter pair.
+func (s *Server) endpointObs(name string) *endpointObs {
 	if v, ok := s.metrics.Load(name); ok {
-		return v.(*endpointMetrics)
+		return v.(*endpointObs)
 	}
-	v, _ := s.metrics.LoadOrStore(name, &endpointMetrics{})
-	return v.(*endpointMetrics)
+	eo := &endpointObs{
+		hist: s.obs.DurationHistogram("flowgen_http_request_duration_seconds",
+			"HTTP request latency by logical endpoint", obs.Label{Key: "endpoint", Value: name}),
+		errors: s.obs.Counter("flowgen_http_request_errors_total",
+			"HTTP requests answered with an error envelope", obs.Label{Key: "endpoint", Value: name}),
+	}
+	v, _ := s.metrics.LoadOrStore(name, eo)
+	return v.(*endpointObs)
 }
 
-// instrument wraps a handler with the per-endpoint counters and uniform
-// JSON error rendering.
+// stage returns the span histogram for one named request stage
+// (parse/score/...), shared across endpoints.
+func (s *Server) stage(name string) *obs.Histogram {
+	if v, ok := s.stages.Load(name); ok {
+		return v.(*obs.Histogram)
+	}
+	h := s.obs.DurationHistogram("flowgen_stage_duration_seconds",
+		"per-stage span timings within a request", obs.Label{Key: "stage", Value: name})
+	v, _ := s.stages.LoadOrStore(name, h)
+	return v.(*obs.Histogram)
+}
+
+// instrument wraps a handler with request tracing, the per-endpoint
+// latency histogram and error counter, and uniform JSON error
+// rendering. The trace ID is honored from X-Request-ID (or generated),
+// propagated to the handler through the request context — so batcher,
+// predictor and loop log lines carry it — and echoed in the
+// X-Request-ID response header; stage spans recorded along the way come
+// back in Server-Timing.
 func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
-	m := s.metricFor(name)
+	m := s.endpointObs(name)
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, tr := obs.WithTrace(r.Context(), r.Header.Get("X-Request-ID"))
+		r = r.WithContext(ctx)
 		t0 := time.Now()
 		body, err := h(r)
-		ns := time.Since(t0).Nanoseconds()
-		m.requests.Add(1)
-		m.totalNS.Add(ns)
-		for {
-			cur := m.maxNS.Load()
-			if ns <= cur || m.maxNS.CompareAndSwap(cur, ns) {
-				break
-			}
+		d := time.Since(t0)
+		m.hist.Observe(d.Nanoseconds())
+		hdr := w.Header()
+		hdr.Set("Content-Type", "application/json")
+		hdr.Set("X-Request-ID", tr.ID)
+		if st := tr.ServerTiming(); st != "" {
+			hdr.Set("Server-Timing", st)
 		}
-		w.Header().Set("Content-Type", "application/json")
 		if err != nil {
-			m.errors.Add(1)
+			m.errors.Inc()
 			status, env := renderError(err)
+			slog.DebugContext(ctx, "serve: request failed",
+				"endpoint", name, "status", status, "code", env.Error.Code, "dur_us", d.Microseconds())
 			w.WriteHeader(status)
 			json.NewEncoder(w).Encode(env)
 			return
 		}
+		slog.DebugContext(ctx, "serve: request served", "endpoint", name, "dur_us", d.Microseconds())
 		json.NewEncoder(w).Encode(body)
 	}
 }
@@ -436,12 +520,14 @@ func (s *Server) handlePredict(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, notFound("%s", err.Error())
 	}
+	parseDone := obs.StartSpan(r.Context(), "parse", s.stage("parse"))
 	flows, err := parseFlows(m, req.Flows)
+	parseDone()
 	if err != nil {
 		return nil, err
 	}
 	// Every predicted flow is a labeling candidate for the loop.
-	s.observe(flows)
+	s.observe(r.Context(), flows)
 
 	resp := predictResponse{Model: m.Name, Version: m.Version, Results: make([]FlowScore, len(flows))}
 	// Serve cache hits against the resolved snapshot; score the misses.
@@ -454,6 +540,8 @@ func (s *Server) handlePredict(r *http.Request) (any, error) {
 		}
 		missIdx = append(missIdx, i)
 	}
+	scoreDone := obs.StartSpan(r.Context(), "score", s.stage("score"))
+	defer scoreDone()
 
 	switch {
 	case len(missIdx) == 0:
@@ -496,6 +584,9 @@ func (s *Server) handlePredict(r *http.Request) (any, error) {
 			s.cache.Put(m.Name, m.Version, flows[i].Key(), probs[j])
 		}
 	}
+	slog.DebugContext(r.Context(), "predictor: scored request",
+		"model", resp.Model, "version", resp.Version,
+		"flows", len(flows), "cache_hits", len(flows)-len(missIdx))
 	return resp, nil
 }
 
@@ -607,10 +698,14 @@ func (s *Server) handleRecommend(r *http.Request) (any, error) {
 		return nil, badRequest("submit flows or a pool size")
 	}
 
+	scoreDone := obs.StartSpan(r.Context(), "score", s.stage("score"))
 	probs, err := m.PredictFlows(r.Context(), pool, s.cfg.Batcher.Workers)
+	scoreDone()
 	if err != nil {
 		return nil, err
 	}
+	slog.DebugContext(r.Context(), "predictor: scored pool",
+		"model", m.Name, "version", m.Version, "pool", len(pool))
 	angels, devils := core.SelectFlows(core.ScoreFlows(pool, probs), m.Arch.NumClasses, req.TopK)
 
 	resp := recommendResponse{Model: m.Name, Version: m.Version, PoolSize: len(pool)}
@@ -633,7 +728,7 @@ func (s *Server) handleRecommend(r *http.Request) (any, error) {
 	for _, sf := range devils {
 		sel = append(sel, sf.Flow)
 	}
-	s.observe(sel)
+	s.observe(r.Context(), sel)
 	return resp, nil
 }
 
@@ -737,12 +832,19 @@ func (s *Server) handleStats(*http.Request) (any, error) {
 		}
 	}
 	s.metrics.Range(func(k, v any) bool {
-		m := v.(*endpointMetrics)
-		st := EndpointStats{Requests: m.requests.Load(), Errors: m.errors.Load()}
-		if st.Requests > 0 {
-			st.MeanMicro = float64(m.totalNS.Load()) / float64(st.Requests) / 1e3
+		m := v.(*endpointObs)
+		snap := m.hist.Snapshot()
+		st := EndpointStats{
+			Requests: int64(snap.Count),
+			Errors:   m.errors.Value(),
+			MaxMicro: float64(snap.MaxSeen) / 1e3,
+			P50Micro: snap.Quantile(0.50) / 1e3,
+			P95Micro: snap.Quantile(0.95) / 1e3,
+			P99Micro: snap.Quantile(0.99) / 1e3,
 		}
-		st.MaxMicro = float64(m.maxNS.Load()) / 1e3
+		if snap.Count > 0 {
+			st.MeanMicro = float64(snap.Sum) / float64(snap.Count) / 1e3
+		}
 		out.Endpoints[k.(string)] = st
 		return true
 	})

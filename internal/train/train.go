@@ -10,8 +10,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"flowgen/internal/nn"
+	"flowgen/internal/obs"
 	"flowgen/internal/opt"
 	"flowgen/internal/tensor"
 )
@@ -101,11 +103,24 @@ type Trainer struct {
 	order     []int
 	data      *Dataset
 	batchIdx  []int
+
+	// Every trainer records into the process-wide series: a step
+	// duration histogram and the most recent mean batch loss. Processes
+	// run one trainer at a time (offline flowtrain, or the loop's
+	// retrainer), so the series need no per-trainer label.
+	obsStepDur *obs.Histogram
+	obsLoss    *obs.Gauge
 }
 
 // NewTrainer builds a trainer with the paper's batch size 5.
 func NewTrainer(net *nn.Network, o opt.Optimizer, seed int64) *Trainer {
-	return &Trainer{Net: net, Opt: o, BatchSize: 5, rng: rand.New(rand.NewSource(seed))}
+	return &Trainer{
+		Net: net, Opt: o, BatchSize: 5, rng: rand.New(rand.NewSource(seed)),
+		obsStepDur: obs.Default().DurationHistogram("flowgen_train_step_duration_seconds",
+			"Wall time of one mini-batch training step (forward + backward + update)."),
+		obsLoss: obs.Default().Gauge("flowgen_train_loss",
+			"Mean batch loss of the most recent training step."),
+	}
 }
 
 // SetData (re)binds the training set and resets the epoch order. Called
@@ -132,6 +147,7 @@ func (t *Trainer) Step() (float64, error) {
 	if t.data == nil || t.data.Len() == 0 {
 		return 0, fmt.Errorf("train: no data bound")
 	}
+	defer t.obsStepDur.ObserveSince(time.Now())
 	if t.cursor+t.BatchSize > len(t.order) {
 		t.refillOrder()
 	}
@@ -154,6 +170,7 @@ func (t *Trainer) Step() (float64, error) {
 	// the batch before the optimizer update.
 	opt.ScaleGrads(t.Net.Params(), 1/float64(batch))
 	t.Opt.Step(t.Net.Params())
+	t.obsLoss.Set(loss)
 	return loss, nil
 }
 
