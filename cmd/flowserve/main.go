@@ -21,6 +21,7 @@
 // Endpoints:
 //
 //	GET  /healthz                    liveness + model count
+//	GET  /readyz                     readiness (503 while draining or modelless)
 //	GET  /v1/models                  registered models (name, version, space, params)
 //	GET  /v1/models/{name}           one model's metadata
 //	POST /v1/models/{name}/reload    reload one model from its file
@@ -29,6 +30,7 @@
 //	POST /v1/recommend               {"top_k":10,"pool":100000,"seed":7} or {"flows":[...]}
 //	POST /v1/label                   {"flow":"...","area":812,"delay":403} — external ground truth
 //	GET  /v1/loop/status             labeler/retrainer counters (404 unless -loop)
+//	POST /v1/loop/drain              quiesce intake, flush labeler, fsync journal, report
 //	GET  /v1/stats                   per-endpoint latency, batcher, cache and loop counters
 //	GET  /metrics                    Prometheus text-format exposition
 //
@@ -56,6 +58,7 @@ import (
 
 	"flowgen/internal/circuits"
 	"flowgen/internal/cliflags"
+	"flowgen/internal/fault"
 	"flowgen/internal/loop"
 	"flowgen/internal/obs"
 	"flowgen/internal/serve"
@@ -64,25 +67,35 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		modelsDir = flag.String("models", "", "directory of *.flowmodel files to serve")
-		modelFile = flag.String("model", "", "single model file to serve")
-		defName   = flag.String("default", "", "default model name (first loaded if empty)")
-		bootstrap = flag.String("bootstrap", "", "register a freshly initialized in-memory model under this name (demo/smoke use)")
-		maxBatch  = flag.Int("maxbatch", 64, "max coalesced requests per forward pass")
-		maxWait   = flag.Duration("maxwait", 500*time.Microsecond, "max time the first request of a batch waits for companions")
-		queueCap  = flag.Int("queue", 1024, "bounded prediction queue depth (beyond it requests are shed)")
-		workers   = cliflags.Workers(flag.CommandLine, "workers", "prediction workers per batch (0 = GOMAXPROCS)")
-		cacheN    = flag.Int("cache", 4096, "scored-flow cache capacity (0 disables)")
-		maxPool   = flag.Int("maxpool", 200000, "largest recommendation pool one request may score")
-		precision = cliflags.Precision(flag.CommandLine, "inference engine: f32 (packed fast path), int8 (quantized snapshot, fastest) or f64 (training numerics)")
-		watch     = flag.Duration("watch", 0, "poll model files at this interval and hot-reload on change (0 disables)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		modelsDir  = flag.String("models", "", "directory of *.flowmodel files to serve")
+		modelFile  = flag.String("model", "", "single model file to serve")
+		defName    = flag.String("default", "", "default model name (first loaded if empty)")
+		bootstrap  = flag.String("bootstrap", "", "register a freshly initialized in-memory model under this name (demo/smoke use)")
+		maxBatch   = flag.Int("maxbatch", 64, "max coalesced requests per forward pass")
+		maxWait    = flag.Duration("maxwait", 500*time.Microsecond, "max time the first request of a batch waits for companions")
+		queueCap   = flag.Int("queue", 1024, "bounded prediction queue depth (beyond it requests are shed)")
+		workers    = cliflags.Workers(flag.CommandLine, "workers", "prediction workers per batch (0 = GOMAXPROCS)")
+		cacheN     = flag.Int("cache", 4096, "scored-flow cache capacity (0 disables)")
+		maxPool    = flag.Int("maxpool", 200000, "largest recommendation pool one request may score")
+		precision  = cliflags.Precision(flag.CommandLine, "inference engine: f32 (packed fast path), int8 (quantized snapshot, fastest) or f64 (training numerics)")
+		watch      = flag.Duration("watch", 0, "poll model files at this interval and hot-reload on change (0 disables)")
+		reqTimeout = cliflags.PositiveDuration(flag.CommandLine, "request-timeout", 30*time.Second,
+			"server-side deadline per request, propagated through batcher, predictor and loop")
 
 		loopDesign   = flag.String("loop", "", "run the continuous flow-development loop against this design: label observed flows with true QoR, retrain and re-publish the default model in the background")
 		retrainEvery = flag.Int("retrain-every", 200, "new labels between background retraining rounds")
 		labelWorkers = cliflags.Workers(flag.CommandLine, "label-workers", "synthesis workers labeling queued flows (0 = half the CPUs, so labeling never starves serving)")
 		journalPath  = flag.String("journal", "", "labeled-flow journal path (default <model path>.labels; in-memory for a pathless -bootstrap model)")
-		seed         = cliflags.Seed(flag.CommandLine, 1)
+		labelTimeout = cliflags.PositiveDuration(flag.CommandLine, "label-timeout", 2*time.Minute,
+			"deadline for one labeling batch's synthesis evaluation; a batch beyond it is abandoned")
+		retrainBudget = cliflags.PositiveDuration(flag.CommandLine, "retrain-budget", 10*time.Minute,
+			"wall-clock watchdog for one retraining round; a round beyond it is aborted, the serving model keeps serving")
+		journalBackoff = cliflags.PositiveDuration(flag.CommandLine, "journal-backoff", 10*time.Millisecond,
+			"base backoff between journal write retries (doubles per attempt, capped at 10x)")
+		drainTimeout = cliflags.PositiveDuration(flag.CommandLine, "drain-timeout", 10*time.Second,
+			"deadline for the ordered graceful shutdown: HTTP drain, labeler flush, journal fsync")
+		seed = cliflags.Seed(flag.CommandLine, 1)
 
 		logFormat = cliflags.LogFormat(flag.CommandLine)
 		logLevel  = cliflags.LogLevel(flag.CommandLine)
@@ -96,6 +109,15 @@ func main() {
 	}
 	slog.SetDefault(logger)
 	obs.RegisterProcessMetrics(obs.Default())
+
+	// Chaos jobs fault a stock binary through the environment; a bad
+	// spec is a startup error, not a silently unarmed plan.
+	if err := fault.InitFromEnv(); err != nil {
+		fatal(err)
+	}
+	if fault.Enabled() {
+		slog.Warn("flowserve: fault injection armed", "spec", os.Getenv("FLOWGEN_FAULTS"))
+	}
 
 	prec := *precision
 	reg := serve.NewRegistry()
@@ -152,10 +174,13 @@ func main() {
 	cfg.Batcher = serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queueCap, Workers: *workers}
 	cfg.CacheSize = *cacheN
 	cfg.MaxPool = *maxPool
+	cfg.RequestTimeout = *reqTimeout
 	cfg.Obs = obs.Default() // one exposition: server + loop + process + predictor compiles
 	srv := serve.NewServer(reg, cfg)
-	defer srv.Close()
 
+	// lp/stopLoop stay nil without -loop; shutdownSequence handles both.
+	var lp *loop.Loop
+	var stopLoop context.CancelFunc
 	if *loopDesign != "" {
 		d, err := circuits.ByName(*loopDesign)
 		if err != nil {
@@ -171,20 +196,22 @@ func main() {
 		}
 		eng := synth.NewEngine(d.Build(), target.Space)
 		eng.RegisterMetrics(obs.Default())
-		lp, err := loop.New(reg, eng, loop.Config{
-			ModelName:    target.Name,
-			RetrainEvery: *retrainEvery,
-			LabelWorkers: *labelWorkers,
-			JournalPath:  journal,
-			Seed:         *seed,
-			Obs:          obs.Default(),
+		lp, err = loop.New(reg, eng, loop.Config{
+			ModelName:     target.Name,
+			RetrainEvery:  *retrainEvery,
+			LabelWorkers:  *labelWorkers,
+			JournalPath:   journal,
+			LabelTimeout:  *labelTimeout,
+			RetrainBudget: *retrainBudget,
+			JournalRetry:  loop.RetryConfig{Backoff: *journalBackoff},
+			Seed:          *seed,
+			Obs:           obs.Default(),
 		})
 		if err != nil {
 			fatal(err)
 		}
-		defer lp.Close()
-		loopCtx, stopLoop := context.WithCancel(context.Background())
-		defer stopLoop()
+		var loopCtx context.Context
+		loopCtx, stopLoop = context.WithCancel(context.Background())
 		go lp.Run(loopCtx)
 		srv.SetLoop(lp)
 		persist := journal
@@ -238,12 +265,60 @@ func main() {
 		fatal(err)
 	case s := <-sig:
 		slog.Info("flowserve: draining", "signal", s.String())
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
+		if err := shutdownSequence(ctx, httpSrv, srv, lp, stopLoop); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// httpShutdowner is the slice of *http.Server the shutdown sequence
+// needs, so tests can drive the sequence without binding a socket.
+type httpShutdowner interface {
+	Shutdown(ctx context.Context) error
+}
+
+// shutdownSequence is the ordered graceful shutdown. Ordering is the
+// point — each step quiesces the producer feeding the next, so nothing
+// accepted is dropped:
+//
+//  1. flip /readyz to 503 (load balancers stop routing here);
+//  2. stop HTTP intake, waiting out in-flight requests (which may
+//     still Observe flows into the loop);
+//  3. drain the loop — quiesce its intake, let the labeler flush the
+//     queue, fsync the journal — then stop its goroutines and close
+//     the journal;
+//  4. close the server's batchers last, after nothing can submit.
+//
+// lp and stopLoop are nil without -loop. The reverse of this order
+// (close batchers or the journal first, as independent defers would)
+// can drop in-flight labels on SIGTERM.
+func shutdownSequence(ctx context.Context, web httpShutdowner, srv *serve.Server, lp *loop.Loop, stopLoop context.CancelFunc) error {
+	srv.StartDraining()
+	if web != nil {
+		if err := web.Shutdown(ctx); err != nil {
+			return fmt.Errorf("http shutdown: %w", err)
+		}
+	}
+	if lp != nil {
+		res, err := lp.Drain(ctx)
+		if err != nil {
+			slog.Error("flowserve: loop drain failed", "error", err)
+		} else {
+			slog.Info("flowserve: loop drained", "result", res)
+		}
+		if stopLoop != nil {
+			stopLoop()
+		}
+		if err := lp.Close(); err != nil {
+			return fmt.Errorf("closing loop: %w", err)
+		}
+	} else if stopLoop != nil {
+		stopLoop()
+	}
+	srv.Close()
+	return nil
 }
 
 func fatal(err error) {

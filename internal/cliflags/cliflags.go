@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log/slog"
 	"strings"
+	"time"
 
 	"flowgen/internal/circuits"
 	"flowgen/internal/nn"
@@ -100,6 +101,42 @@ func Memo(fs *flag.FlagSet) *bool {
 // own documented default).
 func Workers(fs *flag.FlagSet, name, usage string) *int {
 	return fs.Int(name, 0, usage)
+}
+
+// positiveDurationValue adapts a strictly positive time.Duration to
+// flag.Value, so deadline/backoff flags like -request-timeout reject
+// zero and negative values at flag.Parse with the legal forms listed,
+// instead of silently disabling a resilience guard deep inside main.
+type positiveDurationValue struct{ d *time.Duration }
+
+func (v positiveDurationValue) String() string {
+	if v.d == nil {
+		return "0s"
+	}
+	return v.d.String()
+}
+
+func (v positiveDurationValue) Set(s string) error {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("invalid duration %q (legal forms: 500ms, 30s, 2m, 1h)", s)
+	}
+	if d <= 0 {
+		return fmt.Errorf("duration must be positive, got %v (legal forms: 500ms, 30s, 2m, 1h)", d)
+	}
+	*v.d = d
+	return nil
+}
+
+// PositiveDuration registers a duration flag under name that rejects
+// non-positive values at parse time. def must itself be positive.
+func PositiveDuration(fs *flag.FlagSet, name string, def time.Duration, usage string) *time.Duration {
+	if def <= 0 {
+		panic(fmt.Sprintf("cliflags: -%s default %v is not positive", name, def))
+	}
+	d := def
+	fs.Var(positiveDurationValue{&d}, name, usage)
+	return &d
 }
 
 // logFormatValue validates -log-format through obs.ParseLogFormat at

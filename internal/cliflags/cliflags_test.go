@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"strings"
 	"testing"
+	"time"
 
 	"flowgen/internal/nn"
 	"flowgen/internal/obs"
@@ -107,6 +108,47 @@ func TestLogFlags(t *testing.T) {
 	if err := fs.Parse([]string{"-log-level", "loud"}); err == nil || !strings.Contains(err.Error(), "loud") {
 		t.Fatalf("bad log level must fail at Parse, got %v", err)
 	}
+}
+
+func TestPositiveDurationFlag(t *testing.T) {
+	fs := newFS()
+	d := PositiveDuration(fs, "request-timeout", 30*time.Second, "per-request deadline")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *d != 30*time.Second {
+		t.Fatalf("default %v, want 30s", *d)
+	}
+
+	fs = newFS()
+	d = PositiveDuration(fs, "request-timeout", 30*time.Second, "per-request deadline")
+	if err := fs.Parse([]string{"-request-timeout", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if *d != 250*time.Millisecond {
+		t.Fatalf("parsed %v, want 250ms", *d)
+	}
+
+	// Zero, negative and garbage fail at Parse with the legal forms
+	// listed, so a mistyped deadline never silently disables a guard.
+	for _, bad := range []string{"0", "0s", "-5s", "banana", "10"} {
+		fs := newFS()
+		PositiveDuration(fs, "request-timeout", 30*time.Second, "per-request deadline")
+		err := fs.Parse([]string{"-request-timeout", bad})
+		if err == nil || !strings.Contains(err.Error(), "legal forms") {
+			t.Fatalf("-request-timeout %s must fail at Parse listing legal forms, got %v", bad, err)
+		}
+	}
+
+	// A non-positive default is a programming error, caught loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-positive default did not panic")
+			}
+		}()
+		PositiveDuration(newFS(), "bad", 0, "")
+	}()
 }
 
 func TestScalarFlags(t *testing.T) {

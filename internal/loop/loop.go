@@ -24,15 +24,20 @@ package loop
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"flowgen/internal/fault"
 	"flowgen/internal/flow"
 	"flowgen/internal/label"
 	"flowgen/internal/nn"
@@ -72,6 +77,11 @@ type Config struct {
 	// GatherWait bounds how long a labeler round waits for queued
 	// flows before falling back to exploration. Default 100ms.
 	GatherWait time.Duration
+	// LabelTimeout bounds one labeling batch's synthesis evaluation;
+	// a batch that exceeds it is abandoned (counted, logged) and the
+	// labeler moves on instead of wedging the loop behind one
+	// pathological flow. Default 2m; negative disables.
+	LabelTimeout time.Duration
 
 	// RetrainEvery triggers a retrain once this many new labels have
 	// accumulated since the last one. Default 200.
@@ -89,6 +99,11 @@ type Config struct {
 	// Defaults: "RMSProp", 1e-3.
 	Optimizer string
 	LearnRate float64
+	// RetrainBudget is the wall-clock watchdog for one retraining
+	// round: refit, training, gate and publish must finish inside it
+	// or the round is aborted (counted, logged) and the serving model
+	// keeps serving. Default 10m; negative disables.
+	RetrainBudget time.Duration
 
 	// HoldoutFrac is the fraction of the corpus held out (by stride)
 	// for the accuracy gate. Default 0.2.
@@ -103,6 +118,14 @@ type Config struct {
 	Seed int64
 	// JournalPath persists the labeled corpus ("" = in-memory only).
 	JournalPath string
+	// JournalRetry tunes journal write retries and degraded-mode
+	// recovery (see RetryConfig); zero values pick the defaults.
+	JournalRetry RetryConfig
+	// CutsPath is where each retrain appends the labeling model's
+	// fitted percentile cuts as one JSON line, so class boundaries are
+	// auditable across rounds. Defaults to JournalPath+".cuts" when a
+	// journal is configured; "-" disables.
+	CutsPath string
 	// SavePath, when set, is where published models are written with
 	// serve.SaveModel (defaults to the serving model's own Path, so
 	// watcher-driven reloads keep working; a pathless bootstrap model
@@ -141,6 +164,12 @@ func (c Config) withDefaults() Config {
 	if c.GatherWait <= 0 {
 		c.GatherWait = 100 * time.Millisecond
 	}
+	if c.LabelTimeout == 0 {
+		c.LabelTimeout = 2 * time.Minute
+	}
+	if c.RetrainBudget == 0 {
+		c.RetrainBudget = 10 * time.Minute
+	}
 	if c.RetrainEvery <= 0 {
 		c.RetrainEvery = 200
 	}
@@ -162,6 +191,12 @@ func (c Config) withDefaults() Config {
 	if c.GateSlack == 0 {
 		c.GateSlack = 0.005
 	}
+	if c.CutsPath == "" && c.JournalPath != "" {
+		c.CutsPath = c.JournalPath + ".cuts"
+	}
+	if c.CutsPath == "-" {
+		c.CutsPath = ""
+	}
 	return c
 }
 
@@ -171,6 +206,13 @@ type Status struct {
 	Running     bool `json:"running"`
 	Queued      int  `json:"queued"`
 	DatasetSize int  `json:"dataset_size"`
+
+	// Accepting is false once a drain has quiesced intake; Degraded
+	// reports journal health (memory-only labeling after exhausted
+	// write retries — the loop keeps running, /readyz stays up).
+	Accepting bool `json:"accepting"`
+	Degraded  bool `json:"degraded"`
+	Persisted int  `json:"persisted"`
 
 	Observed    int64 `json:"observed"`
 	Dropped     int64 `json:"dropped"`
@@ -183,6 +225,15 @@ type Status struct {
 	Retrains  int64 `json:"retrains"`
 	Published int64 `json:"published"`
 	Rejected  int64 `json:"rejected"`
+
+	JournalErrors   int64 `json:"journal_errors"`
+	JournalRetries  int64 `json:"journal_retries"`
+	Recoveries      int64 `json:"recoveries"`
+	LabelTimeouts   int64 `json:"label_timeouts"`
+	RetrainTimeouts int64 `json:"retrain_timeouts"`
+	LabelerPanics   int64 `json:"labeler_panics"`
+	RetrainPanics   int64 `json:"retrain_panics"`
+	Drains          int64 `json:"drains"`
 
 	LastLoss           float64   `json:"last_loss"`
 	LastCandidateAcc   float64   `json:"last_candidate_acc"`
@@ -208,16 +259,20 @@ type Loop struct {
 	queued map[string]struct{}
 
 	running  atomic.Bool
+	draining atomic.Bool  // intake quiesced by Drain
 	newSince atomic.Int64 // labels added since the last retrain attempt
 
-	observed, dropped, explored   atomic.Int64
-	labeled, labelErrors          atomic.Int64
-	submitted, duplicates         atomic.Int64
-	retrains, published, rejected atomic.Int64
-	lastLoss, lastCand, lastServ  float64
-	lastVersion                   int
-	lastPublish                   time.Time
-	lastErr                       string
+	observed, dropped, explored    atomic.Int64
+	labeled, labelErrors           atomic.Int64
+	submitted, duplicates          atomic.Int64
+	retrains, published, rejected  atomic.Int64
+	labelTimeouts, retrainTimeouts atomic.Int64
+	labelerPanics, retrainPanics   atomic.Int64
+	drains                         atomic.Int64
+	lastLoss, lastCand, lastServ   float64
+	lastVersion                    int
+	lastPublish                    time.Time
+	lastErr                        string
 
 	// Observability series (non-nil even without a Config.Obs — a nil
 	// *obs.Registry hands out functional unregistered metrics).
@@ -251,7 +306,7 @@ func New(reg *serve.Registry, eng *synth.Engine, cfg Config) (*Loop, error) {
 			eng.Space.Length(), eng.Space.N(), m.Name, m.Space.Length(), m.Space.N())
 	}
 	eng.Workers = cfg.LabelWorkers
-	store, err := OpenStore(cfg.JournalPath)
+	store, err := OpenStoreWith(cfg.JournalPath, cfg.JournalRetry)
 	if err != nil {
 		return nil, err
 	}
@@ -294,9 +349,28 @@ func (l *Loop) registerMetrics(o *obs.Registry) {
 		{"flowgen_loop_retrains_total", "Retraining rounds started.", &l.retrains},
 		{"flowgen_loop_gate_accept_total", "Retrained candidates that cleared the accuracy gate and published.", &l.published},
 		{"flowgen_loop_gate_reject_total", "Retrained candidates rejected by the accuracy gate.", &l.rejected},
+		{"flowgen_loop_label_timeouts_total", "Labeling batches abandoned at the LabelTimeout deadline.", &l.labelTimeouts},
+		{"flowgen_loop_retrain_timeouts_total", "Retraining rounds aborted by the RetrainBudget watchdog.", &l.retrainTimeouts},
+		{"flowgen_loop_labeler_panics_total", "Labeler panics recovered (batch skipped, loop alive).", &l.labelerPanics},
+		{"flowgen_loop_retrain_panics_total", "Retrainer panics recovered (round skipped, loop alive).", &l.retrainPanics},
+		{"flowgen_loop_drains_total", "Drain requests served.", &l.drains},
 	} {
 		o.CounterFunc(c.name, c.help, c.v.Load)
 	}
+	o.CounterFunc("flowgen_loop_journal_errors_total",
+		"Failed journal write/sync attempts, including retried ones.", l.store.JournalErrors)
+	o.CounterFunc("flowgen_loop_journal_retries_total",
+		"Backoff retries taken on journal appends.", l.store.JournalRetries)
+	o.CounterFunc("flowgen_loop_journal_recoveries_total",
+		"Successful recoveries from degraded memory-only labeling.", l.store.Recoveries)
+	o.GaugeFunc("flowgen_loop_degraded",
+		"1 while the journal is degraded to memory-only labeling, else 0.",
+		func() float64 {
+			if l.store.Degraded() {
+				return 1
+			}
+			return 0
+		})
 	l.obsRetrainDur = o.DurationHistogram("flowgen_loop_retrain_duration_seconds",
 		"Wall time of one retraining round: refit, train, gate, publish.")
 	l.obsLastLoss = o.Gauge("flowgen_loop_last_loss",
@@ -333,9 +407,14 @@ func (l *Loop) Run(ctx context.Context) {
 // Observe enqueues served flows as labeling candidates — the serve
 // layer calls this from the predict/recommend handlers with the
 // request's trace-carrying context. Flows already labeled or already
-// queued are skipped; when the queue is full the flows are dropped
-// (and counted), never blocking the request path.
+// queued are skipped; when the queue is full, or a drain has quiesced
+// intake, the flows are dropped (and counted), never blocking the
+// request path.
 func (l *Loop) Observe(ctx context.Context, flows []flow.Flow) {
+	if l.draining.Load() {
+		l.dropped.Add(int64(len(flows)))
+		return
+	}
 	enqueued := 0
 	for _, f := range flows {
 		l.observed.Add(1)
@@ -412,7 +491,80 @@ func (l *Loop) Status() Status {
 	st.Retrains = l.retrains.Load()
 	st.Published = l.published.Load()
 	st.Rejected = l.rejected.Load()
+	st.Accepting = !l.draining.Load()
+	st.Degraded = l.store.Degraded()
+	st.Persisted = l.store.Persisted()
+	st.JournalErrors = l.store.JournalErrors()
+	st.JournalRetries = l.store.JournalRetries()
+	st.Recoveries = l.store.Recoveries()
+	st.LabelTimeouts = l.labelTimeouts.Load()
+	st.RetrainTimeouts = l.retrainTimeouts.Load()
+	st.LabelerPanics = l.labelerPanics.Load()
+	st.RetrainPanics = l.retrainPanics.Load()
+	st.Drains = l.drains.Load()
 	return st
+}
+
+// DrainResult is what Drain reports once intake has quiesced and the
+// journal is flushed; /v1/loop/drain serializes it verbatim.
+type DrainResult struct {
+	// Drained is true when the candidate queue fully flushed before the
+	// deadline; false means the drain timed out with Queued flows still
+	// awaiting labeling (they remain in the corpus pipeline, nothing is
+	// discarded — the journal is synced either way).
+	Drained       bool `json:"drained"`
+	Queued        int  `json:"queued"`
+	DatasetSize   int  `json:"dataset_size"`
+	Persisted     int  `json:"persisted"`
+	JournalSynced bool `json:"journal_synced"`
+	Degraded      bool `json:"degraded"`
+}
+
+// Drain quiesces the loop for shutdown: intake stops (Observe drops,
+// counted), the labeler is allowed to finish in-flight and queued
+// candidates until ctx expires, and the journal is fsynced. Drain is
+// idempotent; the loop stays drained once called (Run keeps running so
+// /v1/loop/status stays live, but no new candidates are accepted).
+func (l *Loop) Drain(ctx context.Context) (any, error) {
+	l.drains.Add(1)
+	l.draining.Store(true)
+	// Queued keys persist until their labeling round completes, so an
+	// empty queued set means the queue is flushed AND nothing is mid
+	// evaluation.
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	drained := false
+	for !drained && ctx.Err() == nil {
+		l.mu.Lock()
+		drained = len(l.queued) == 0
+		l.mu.Unlock()
+		if drained {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-tick.C:
+		}
+	}
+	syncErr := l.store.Sync()
+	if syncErr != nil {
+		l.setErr(fmt.Sprintf("drain: %v", syncErr))
+	}
+	l.mu.Lock()
+	queued := len(l.queued)
+	l.mu.Unlock()
+	res := DrainResult{
+		Drained:       drained,
+		Queued:        queued,
+		DatasetSize:   l.store.Len(),
+		Persisted:     l.store.Persisted(),
+		JournalSynced: syncErr == nil,
+		Degraded:      l.store.Degraded(),
+	}
+	slog.Info("loop: drained", "drained", res.Drained, "queued", res.Queued,
+		"dataset", res.DatasetSize, "persisted", res.Persisted,
+		"journal_synced", res.JournalSynced, "degraded", res.Degraded)
+	return res, nil
 }
 
 // LoopStatus satisfies serve.LoopController.
@@ -435,44 +587,109 @@ func (l *Loop) labelLoop(ctx context.Context) {
 	rng := rand.New(rand.NewSource(l.cfg.Seed))
 	timer := time.NewTimer(l.cfg.GatherWait)
 	defer timer.Stop()
-	for {
-		batch := l.gather(ctx, timer)
-		if ctx.Err() != nil {
-			return
-		}
-		batch = l.explore(rng, batch)
-		if len(batch) == 0 {
-			continue
-		}
-		qors, err := l.eng.EvaluateAll(batch, nil)
-		if err != nil {
-			// Queued flows are pre-validated, so a batch error is
-			// engine-level; count it and keep the loop alive.
+	for ctx.Err() == nil {
+		l.labelRound(ctx, rng, timer)
+	}
+}
+
+// labelRound gathers, evaluates and stores one labeling batch. A panic
+// anywhere in the round — the engine, the labeling fault site, the
+// store — is recovered here: the batch is counted as failed and the
+// labeler moves on, so a poisoned flow can never kill the process.
+func (l *Loop) labelRound(ctx context.Context, rng *rand.Rand, timer *time.Timer) {
+	var batch []flow.Flow
+	defer func() {
+		// Whether the round finished, errored or panicked, the batch's
+		// keys leave the queued set — candidates are labeled at most
+		// once, and Drain's "queue flushed" condition sees the truth.
+		l.release(batch)
+		if r := recover(); r != nil {
+			l.labelerPanics.Add(1)
 			l.labelErrors.Add(int64(len(batch)))
-			l.setErr(fmt.Sprintf("labeling: %v", err))
+			l.setErr(fmt.Sprintf("labeler panic: %v", r))
+			slog.Error("loop: labeler panic recovered, batch skipped",
+				"panic", r, "batch", len(batch), "stack", string(debug.Stack()))
+		}
+	}()
+	batch = l.gather(ctx, timer)
+	if ctx.Err() != nil {
+		return
+	}
+	if !l.draining.Load() {
+		batch = l.explore(rng, batch)
+	}
+	if len(batch) == 0 {
+		return
+	}
+	qors, err := l.evaluate(ctx, batch)
+	if err != nil {
+		// Queued flows are pre-validated, so a batch error is
+		// engine-level (or injected); count it and keep the loop alive.
+		l.labelErrors.Add(int64(len(batch)))
+		l.setErr(fmt.Sprintf("labeling: %v", err))
+		return
+	}
+	var added int64
+	for i, f := range batch {
+		ok, err := l.store.Add(f, qors[i])
+		if err != nil {
+			l.labelErrors.Add(1)
+			l.setErr(err.Error())
 			continue
 		}
-		var added int64
-		for i, f := range batch {
-			ok, err := l.store.Add(f, qors[i])
-			if err != nil {
-				l.labelErrors.Add(1)
-				l.setErr(err.Error())
-				continue
-			}
-			if ok {
-				added++
-			} else {
-				l.duplicates.Add(1)
-			}
+		if ok {
+			added++
+		} else {
+			l.duplicates.Add(1)
 		}
-		l.labeled.Add(added)
-		l.bumpNew(added)
+	}
+	l.labeled.Add(added)
+	l.bumpNew(added)
+}
+
+// evaluate labels one batch through the synthesis engine, bounded by
+// LabelTimeout: a batch that blows the deadline is abandoned (the
+// stray evaluation finishes on its own goroutine and is discarded) so
+// one pathological flow cannot wedge the labeler.
+func (l *Loop) evaluate(ctx context.Context, batch []flow.Flow) ([]synth.QoR, error) {
+	if err := fault.Hit("loop.labeler"); err != nil {
+		return nil, err
+	}
+	if l.cfg.LabelTimeout <= 0 {
+		return l.eng.EvaluateAll(batch, nil)
+	}
+	type evalResult struct {
+		qors []synth.QoR
+		err  error
+	}
+	done := make(chan evalResult, 1) // buffered: an abandoned send never leaks
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- evalResult{err: fmt.Errorf("labeling panic: %v", r)}
+			}
+		}()
+		qors, err := l.eng.EvaluateAll(batch, nil)
+		done <- evalResult{qors, err}
+	}()
+	timer := time.NewTimer(l.cfg.LabelTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.qors, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		l.labelTimeouts.Add(1)
+		return nil, fmt.Errorf("labeling batch of %d exceeded %v, abandoned",
+			len(batch), l.cfg.LabelTimeout)
 	}
 }
 
 // gather blocks up to GatherWait for a first queued flow, then drains
-// without blocking up to LabelBatch.
+// without blocking up to LabelBatch. Gathered flows stay in the queued
+// set until the round releases them, so Drain can tell "queue empty"
+// from "labeling still in flight".
 func (l *Loop) gather(ctx context.Context, timer *time.Timer) []flow.Flow {
 	if !timer.Stop() {
 		select {
@@ -488,12 +705,12 @@ func (l *Loop) gather(ctx context.Context, timer *time.Timer) []flow.Flow {
 	case <-timer.C:
 		return nil
 	case f := <-l.queue:
-		batch = append(batch, l.unqueue(f))
+		batch = append(batch, f)
 	}
 	for len(batch) < l.cfg.LabelBatch {
 		select {
 		case f := <-l.queue:
-			batch = append(batch, l.unqueue(f))
+			batch = append(batch, f)
 		default:
 			return batch
 		}
@@ -501,11 +718,17 @@ func (l *Loop) gather(ctx context.Context, timer *time.Timer) []flow.Flow {
 	return batch
 }
 
-func (l *Loop) unqueue(f flow.Flow) flow.Flow {
+// release removes a finished round's flows from the queued set
+// (explored flows were never in it; deleting is a no-op).
+func (l *Loop) release(batch []flow.Flow) {
+	if len(batch) == 0 {
+		return
+	}
 	l.mu.Lock()
-	delete(l.queued, f.Key())
+	for _, f := range batch {
+		delete(l.queued, f.Key())
+	}
 	l.mu.Unlock()
-	return f
 }
 
 // explore tops the batch up with fresh random flows so the corpus keeps
@@ -559,15 +782,50 @@ func (l *Loop) retrainLoop(ctx context.Context) {
 			}
 		}
 		l.newSince.Store(0)
-		if err := l.retrain(ctx); err != nil {
-			l.setErr(err.Error())
-		}
+		l.retrainRound(ctx)
 	}
+}
+
+// retrainRound runs one retrain under the RetrainBudget watchdog with
+// panic isolation: a round that panics or blows its budget is counted
+// and logged, the serving model keeps serving, and the retrainer stays
+// alive for the next trigger.
+func (l *Loop) retrainRound(ctx context.Context) {
+	rctx := ctx
+	if l.cfg.RetrainBudget > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, l.cfg.RetrainBudget)
+		defer cancel()
+	}
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			l.retrainPanics.Add(1)
+			l.setErr(fmt.Sprintf("retrain panic: %v", r))
+			slog.Error("loop: retrainer panic recovered, round skipped",
+				"panic", r, "stack", string(debug.Stack()))
+		}
+	}()
+	err := l.retrain(rctx)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		l.retrainTimeouts.Add(1)
+		err = fmt.Errorf("retrain aborted by %v budget after %v",
+			l.cfg.RetrainBudget, time.Since(start).Round(time.Millisecond))
+		slog.Warn("loop: retraining round aborted by budget",
+			"budget", l.cfg.RetrainBudget, "elapsed", time.Since(start))
+	}
+	l.setErr(err.Error())
 }
 
 // retrain runs one labeling-model refit + warm-start training round and
 // publishes the candidate if it clears the accuracy gate.
 func (l *Loop) retrain(ctx context.Context) error {
+	if err := fault.Hit("loop.retrain"); err != nil {
+		return fmt.Errorf("retrain: %w", err)
+	}
 	defer l.obsRetrainDur.ObserveSince(time.Now())
 	round := l.retrains.Add(1)
 	cur, err := l.reg.Get(l.cfg.ModelName)
@@ -579,6 +837,7 @@ func (l *Loop) retrain(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("retrain: %w", err)
 	}
+	l.persistCuts(round, model, len(flows))
 
 	trainSet, holdout := l.split(cur, flows, qors, model)
 
@@ -600,12 +859,23 @@ func (l *Loop) retrain(ctx context.Context) error {
 	}
 	tr := train.NewTrainer(cand, o, l.cfg.Seed+round)
 	tr.SetData(trainSet)
-	loss, err := tr.Steps(l.cfg.StepsPerRound)
-	if err != nil {
-		return fmt.Errorf("retrain: %w", err)
+	// Training runs in bounded chunks so the budget watchdog and
+	// shutdown are honored between chunks rather than only at the end of
+	// the full StepsPerRound block.
+	var loss float64
+	for done := 0; done < l.cfg.StepsPerRound; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := min(50, l.cfg.StepsPerRound-done)
+		loss, err = tr.Steps(chunk)
+		if err != nil {
+			return fmt.Errorf("retrain: %w", err)
+		}
+		done += chunk
 	}
-	if ctx.Err() != nil {
-		return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	// Accuracy gate, both sides through the one Predictor surface: the
@@ -650,9 +920,15 @@ func (l *Loop) retrain(ctx context.Context) error {
 	}
 	if l.cfg.SavePath != "" {
 		if err := serve.SaveModel(l.cfg.SavePath, next); err != nil {
-			return fmt.Errorf("retrain: persisting model: %w", err)
+			// Graceful degradation: an unwritable model file must not
+			// block publishing a gated candidate — serve from memory and
+			// surface the persistence failure.
+			l.setErr(fmt.Sprintf("round %d: persisting model: %v", round, err))
+			slog.WarnContext(ctx, "loop: publishing in-memory only, model save failed",
+				"model", cur.Name, "round", round, "path", l.cfg.SavePath, "err", err)
+		} else {
+			next.Path = l.cfg.SavePath
 		}
-		next.Path = l.cfg.SavePath
 	}
 	installed := l.reg.Register(next)
 	l.published.Add(1)
@@ -666,6 +942,59 @@ func (l *Loop) retrain(ctx context.Context) error {
 		"candidate_acc", candAcc, "serving_acc", curAcc, "loss", loss,
 		"corpus", len(flows))
 	return nil
+}
+
+// cutsRecord is one JSONL line in the cuts audit log: the labeling
+// model fitted at a retraining round, so class boundaries can be
+// compared across rounds long after the models themselves rotate.
+type cutsRecord struct {
+	Round         int64       `json:"round"`
+	Time          time.Time   `json:"time"`
+	Corpus        int         `json:"corpus"`
+	Metrics       []string    `json:"metrics"`
+	Percentiles   []float64   `json:"percentiles"`
+	Determinators [][]float64 `json:"determinators"`
+}
+
+// persistCuts appends the round's fitted percentile cuts to CutsPath.
+// Best-effort by design: an unwritable audit log is logged and counted
+// as a journal error, never blocks the retrain.
+func (l *Loop) persistCuts(round int64, model *label.Model, corpus int) {
+	if l.cfg.CutsPath == "" {
+		return
+	}
+	rec := cutsRecord{
+		Round:         round,
+		Time:          time.Now().UTC(),
+		Corpus:        corpus,
+		Percentiles:   model.Percentiles,
+		Determinators: model.Determinators,
+	}
+	for _, m := range model.Metrics {
+		rec.Metrics = append(rec.Metrics, m.String())
+	}
+	err := fault.Hit("loop.cuts.append")
+	if err == nil {
+		err = appendJSONLine(l.cfg.CutsPath, rec)
+	}
+	if err != nil {
+		l.setErr(fmt.Sprintf("round %d: persisting cuts: %v", round, err))
+		slog.Warn("loop: cuts audit append failed", "path", l.cfg.CutsPath,
+			"round", round, "err", err)
+	}
+}
+
+func appendJSONLine(path string, v any) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // split partitions the corpus into train/holdout by stride (every k-th

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
+	"flowgen/internal/fault"
 	"flowgen/internal/obs"
 	"flowgen/internal/tensor"
 )
@@ -117,6 +119,7 @@ type Batcher struct {
 	obsFlushDur  *obs.Histogram // flush wall time, ns
 	obsWait      *obs.Histogram // submit-to-response latency, ns
 	obsShed      *obs.Counter   // queue-full rejections
+	obsPanics    *obs.Counter   // forward-pass panics recovered
 
 	stats struct {
 		requests, rejected, cancelled atomic.Int64
@@ -155,6 +158,8 @@ func NewBatcher(resolve func() (*Model, error), cfg BatcherConfig) *Batcher {
 		"Submit-to-response latency including queueing and coalescing.", lbl)
 	b.obsShed = cfg.Obs.Counter("flowgen_batcher_shed_total",
 		"Submissions rejected because the request queue was full.", lbl)
+	b.obsPanics = cfg.Obs.Counter("flowgen_batcher_panics_total",
+		"Forward-pass panics recovered (batch failed, scheduler alive).", lbl)
 	go b.loop()
 	return b
 }
@@ -343,7 +348,7 @@ func (b *Batcher) flush(batch []*request) {
 		}
 	}
 
-	probs, err := m.PredictBatchCtx(flushCtx, x, b.cfg.Workers)
+	probs, err := b.predict(flushCtx, m, x)
 	if err != nil {
 		b.stats.errors.Add(1)
 		for _, r := range live {
@@ -360,6 +365,30 @@ func (b *Batcher) flush(batch []*request) {
 	for i, r := range live {
 		r.done <- result{probs: probs[i], model: m}
 	}
+}
+
+// predict runs the batched forward pass with panic isolation: a panic
+// inside the model (or injected at the serve.batcher.flush site) fails
+// this batch's requests with an error and leaves the scheduler
+// goroutine alive, so one poisoned batch never takes the model's
+// batcher down with it. The sleep kind at the same site models a slow
+// predictor (latency injection for the chaos suite).
+func (b *Batcher) predict(ctx context.Context, m *Model, x *tensor.Tensor) (probs [][]float64, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			b.obsPanics.Inc() // the caller counts the batch error itself
+			slog.Error("batcher: forward-pass panic recovered, batch failed",
+				"model", m.Name, "version", m.Version, "panic", rec,
+				"stack", string(debug.Stack()))
+			probs, err = nil, fmt.Errorf("serve: prediction panic: %v", rec)
+		}
+	}()
+	if fault.Enabled() {
+		if err := fault.Hit("serve.batcher.flush"); err != nil {
+			return nil, err
+		}
+	}
+	return m.PredictBatchCtx(ctx, x, b.cfg.Workers)
 }
 
 // drain fails whatever is still queued at shutdown.

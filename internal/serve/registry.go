@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"flowgen/internal/core"
+	"flowgen/internal/fault"
 	"flowgen/internal/flow"
 	"flowgen/internal/nn"
 	"flowgen/internal/obs"
@@ -225,8 +226,13 @@ func ReadModel(r io.Reader) (*Model, error) {
 }
 
 // LoadModelFile reads a model file written by SaveModel and records its
-// path so the registry can hot-reload it.
+// path so the registry can hot-reload it. The serve.registry.load fault
+// site stands in for any load failure (missing/corrupt file, injected)
+// — Reload callers must keep serving the previous version.
 func LoadModelFile(path string) (*Model, error) {
+	if err := fault.Hit("serve.registry.load"); err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -245,10 +251,11 @@ func LoadModelFile(path string) (*Model, error) {
 // reload) copy the map under a mutex and swap the pointer, so a reload
 // is a zero-downtime pointer swap and readers never block.
 type Registry struct {
-	mu      sync.Mutex // serializes mutations only
-	snap    atomic.Pointer[registrySnap]
-	reloads atomic.Int64
-	obs     atomic.Pointer[obs.Registry]
+	mu          sync.Mutex // serializes mutations only
+	snap        atomic.Pointer[registrySnap]
+	reloads     atomic.Int64
+	reloadFails atomic.Int64
+	obs         atomic.Pointer[obs.Registry]
 }
 
 type registrySnap struct {
@@ -319,6 +326,8 @@ func (r *Registry) SetObs(o *obs.Registry) {
 	r.obs.Store(o)
 	o.CounterFunc("flowgen_model_reloads_total",
 		"Successful hot reloads across all models.", r.Reloads)
+	o.CounterFunc("flowgen_model_reload_failures_total",
+		"Hot reloads that failed; the previous version kept serving.", r.ReloadFails)
 	for _, m := range r.snap.Load().byName {
 		o.Gauge("flowgen_model_version",
 			"Active version of each registered model.",
@@ -389,6 +398,10 @@ func (r *Registry) Reload(name string) (*Model, error) {
 	}
 	fresh, err := LoadModelFile(cur.Path)
 	if err != nil {
+		// Graceful degradation: the previous snapshot stays registered
+		// and keeps serving; the failure is counted and surfaced to the
+		// caller, never swapped in.
+		r.reloadFails.Add(1)
 		return nil, err
 	}
 	fresh.Name = cur.Name // the registry name wins over the stored one
@@ -399,3 +412,6 @@ func (r *Registry) Reload(name string) (*Model, error) {
 
 // Reloads returns how many successful reloads the registry has served.
 func (r *Registry) Reloads() int64 { return r.reloads.Load() }
+
+// ReloadFails returns how many reloads failed (previous version kept).
+func (r *Registry) ReloadFails() int64 { return r.reloadFails.Load() }

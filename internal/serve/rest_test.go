@@ -47,6 +47,12 @@ func (f *fakeLoop) LoopStatus() any {
 	return map[string]any{"running": true, "observed": len(f.observed)}
 }
 
+func (f *fakeLoop) Drain(context.Context) (any, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return map[string]any{"drained": true, "queued": 0}, nil
+}
+
 func decodeEnvelope(t *testing.T, body string) (code, message string) {
 	t.Helper()
 	var env struct {

@@ -8,12 +8,14 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"flowgen/internal/core"
+	"flowgen/internal/fault"
 	"flowgen/internal/flow"
 	"flowgen/internal/nn"
 	"flowgen/internal/obs"
@@ -30,13 +32,18 @@ import (
 //     (predict inputs, recommend selections) as labeling candidates;
 //   - SubmitLabel records an externally measured QoR (/v1/label);
 //   - LoopStatus returns the loop's JSON-serializable status snapshot
-//     (/v1/loop/status, and the loop block of /v1/stats).
+//     (/v1/loop/status, and the loop block of /v1/stats);
+//   - Drain quiesces the loop for shutdown — stop intake, finish
+//     in-flight labeling until ctx expires, fsync the journal — and
+//     returns a JSON-serializable report (POST /v1/loop/drain, and the
+//     ordered-shutdown path in cmd/flowserve).
 type LoopController interface {
 	// Observe receives the request context so the loop can stamp its
 	// log lines with the originating trace ID.
 	Observe(ctx context.Context, flows []flow.Flow)
 	SubmitLabel(flowText string, q synth.QoR) (accepted bool, size int, err error)
 	LoopStatus() any
+	Drain(ctx context.Context) (any, error)
 }
 
 // ServerConfig tunes the HTTP serving layer.
@@ -49,6 +56,12 @@ type ServerConfig struct {
 	// service).
 	MaxFlows int
 	MaxPool  int
+	// RequestTimeout is the server-side deadline stamped on every
+	// request context before the handler runs, so it propagates through
+	// batcher → predictor → loop; a request that exceeds it fails with
+	// 504 instead of holding a connection open. ≤0 disables (clients and
+	// proxies still cancel via their own contexts).
+	RequestTimeout time.Duration
 	// Obs is the metric registry the server (and the batchers it
 	// spawns) records into and GET /metrics exposes. nil gives the
 	// server a private registry — cmd/flowserve passes obs.Default()
@@ -59,19 +72,22 @@ type ServerConfig struct {
 // DefaultServerConfig returns production-shaped limits.
 func DefaultServerConfig() ServerConfig {
 	return ServerConfig{
-		Batcher:   DefaultBatcherConfig(),
-		CacheSize: 4096,
-		MaxFlows:  1024,
-		MaxPool:   200000,
+		Batcher:        DefaultBatcherConfig(),
+		CacheSize:      4096,
+		MaxFlows:       1024,
+		MaxPool:        200000,
+		RequestTimeout: 30 * time.Second,
 	}
 }
 
 // endpointObs bundles one logical endpoint's instruments: a latency
-// histogram (whose count doubles as the request counter) and an error
-// counter, both registered on the server's obs registry.
+// histogram (whose count doubles as the request counter), an error
+// counter, and a recovered-panic counter, all registered on the
+// server's obs registry.
 type endpointObs struct {
 	hist   *obs.Histogram
 	errors *obs.Counter
+	panics *obs.Counter
 }
 
 // EndpointStats is the JSON form of one endpoint's counters. Every
@@ -108,6 +124,11 @@ type Server struct {
 	mu       sync.Mutex
 	batchers map[string]*Batcher
 	closed   bool
+
+	// draining flips once a drain has been requested (endpoint or
+	// shutdown path); /readyz turns 503 so load balancers stop routing
+	// here while /healthz keeps reporting the process alive.
+	draining atomic.Bool
 
 	loop    atomic.Value // LoopController, when a loop is attached
 	metrics sync.Map     // endpoint name → *endpointObs
@@ -171,9 +192,15 @@ func NewServer(reg *Registry, cfg ServerConfig) *Server {
 // exposes), so embedders can add their own series to the exposition.
 func (s *Server) Obs() *obs.Registry { return s.obs }
 
+// StartDraining flips /readyz to 503 without closing anything — the
+// first step of an ordered shutdown (and of POST /v1/loop/drain), so
+// load balancers stop routing here before intake actually stops.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
 // Close stops every batcher the server started; later requests that
 // need a batcher fail with ErrClosed instead of resurrecting one.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
@@ -211,6 +238,7 @@ func (s *Server) batcherFor(name string) (*Batcher, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReady))
 	mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
 	mux.HandleFunc("GET /v1/models/{name}", s.instrument("model_get", s.handleModelGet))
 	mux.HandleFunc("POST /v1/models/reload", s.instrument("reload", s.handleReload))
@@ -219,6 +247,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/recommend", s.instrument("recommend", s.handleRecommend))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /v1/loop/status", s.instrument("loop_status", s.handleLoopStatus))
+	mux.HandleFunc("POST /v1/loop/drain", s.instrument("loop_drain", s.handleLoopDrain))
 	mux.HandleFunc("POST /v1/label", s.instrument("label", s.handleLabel))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -295,6 +324,8 @@ func (s *Server) endpointObs(name string) *endpointObs {
 			"HTTP request latency by logical endpoint", obs.Label{Key: "endpoint", Value: name}),
 		errors: s.obs.Counter("flowgen_http_request_errors_total",
 			"HTTP requests answered with an error envelope", obs.Label{Key: "endpoint", Value: name}),
+		panics: s.obs.Counter("flowgen_http_panics_total",
+			"handler panics recovered into 500 responses", obs.Label{Key: "endpoint", Value: name}),
 	}
 	v, _ := s.metrics.LoadOrStore(name, eo)
 	return v.(*endpointObs)
@@ -313,19 +344,43 @@ func (s *Server) stage(name string) *obs.Histogram {
 }
 
 // instrument wraps a handler with request tracing, the per-endpoint
-// latency histogram and error counter, and uniform JSON error
-// rendering. The trace ID is honored from X-Request-ID (or generated),
-// propagated to the handler through the request context — so batcher,
-// predictor and loop log lines carry it — and echoed in the
-// X-Request-ID response header; stage spans recorded along the way come
-// back in Server-Timing.
+// latency histogram and error counter, the server-side request
+// deadline, panic isolation, and uniform JSON error rendering. The
+// trace ID is honored from X-Request-ID (or generated), propagated to
+// the handler through the request context — so batcher, predictor and
+// loop log lines carry it — and echoed in the X-Request-ID response
+// header; stage spans recorded along the way come back in
+// Server-Timing. A handler panic is recovered into a 500 envelope with
+// the stack logged: one poisoned request must never kill the process.
 func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
 	m := s.endpointObs(name)
+	run := func(r *http.Request) (body any, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				m.panics.Inc()
+				slog.ErrorContext(r.Context(), "serve: handler panic recovered",
+					"endpoint", name, "panic", rec, "stack", string(debug.Stack()))
+				err = &httpError{status: http.StatusInternalServerError, code: "panic",
+					msg: "internal error (recovered panic)"}
+			}
+		}()
+		if fault.Enabled() {
+			if err := fault.Hit("serve.http." + name); err != nil {
+				return nil, err
+			}
+		}
+		return h(r)
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx, tr := obs.WithTrace(r.Context(), r.Header.Get("X-Request-ID"))
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
 		r = r.WithContext(ctx)
 		t0 := time.Now()
-		body, err := h(r)
+		body, err := run(r)
 		d := time.Since(t0)
 		m.hist.Observe(d.Nanoseconds())
 		hdr := w.Header()
@@ -359,6 +414,44 @@ type healthResponse struct {
 func (s *Server) handleHealth(*http.Request) (any, error) {
 	return healthResponse{Status: "ok", Models: len(s.Registry.List()),
 		UptimeSeconds: time.Since(s.start).Seconds()}, nil
+}
+
+type readyResponse struct {
+	Ready    bool `json:"ready"`
+	Models   int  `json:"models"`
+	Draining bool `json:"draining"`
+	// Loop carries the attached loop's status snapshot (including its
+	// degraded flag) so one readiness scrape shows the whole picture. A
+	// degraded journal does NOT fail readiness — the server still
+	// serves predictions and labels in memory.
+	Loop any `json:"loop,omitempty"`
+}
+
+// handleReady serves GET /readyz — readiness, distinct from /healthz
+// liveness: 503 once a drain/shutdown has begun or while no model is
+// loadable, 200 otherwise. Load balancers route on this; orchestrators
+// restart on /healthz.
+func (s *Server) handleReady(*http.Request) (any, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	resp := readyResponse{
+		Models:   len(s.Registry.List()),
+		Draining: s.draining.Load() || closed,
+	}
+	if lc := s.getLoop(); lc != nil {
+		resp.Loop = lc.LoopStatus()
+	}
+	resp.Ready = !resp.Draining && resp.Models > 0
+	if !resp.Ready {
+		reason := "draining"
+		if resp.Models == 0 {
+			reason = "no models loaded"
+		}
+		return nil, &httpError{status: http.StatusServiceUnavailable,
+			code: "not_ready", msg: "not ready: " + reason}
+	}
+	return resp, nil
 }
 
 // ---------------------------------------------------------------- models
@@ -744,6 +837,27 @@ func (s *Server) handleLoopStatus(*http.Request) (any, error) {
 		return nil, errLoopDisabled
 	}
 	return lc.LoopStatus(), nil
+}
+
+// handleLoopDrain serves POST /v1/loop/drain: quiesce intake, let the
+// labeler flush its queue, fsync the journal, and report. The server
+// flips to draining (readyz 503) before the loop drains, so no new
+// traffic races the quiesce. Idempotent — repeat calls re-report.
+func (s *Server) handleLoopDrain(r *http.Request) (any, error) {
+	lc := s.getLoop()
+	if lc == nil {
+		return nil, errLoopDisabled
+	}
+	s.draining.Store(true)
+	ctx := r.Context()
+	if _, ok := ctx.Deadline(); !ok {
+		// A drain must terminate even when no request timeout is
+		// configured and the client waits forever.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+	}
+	return lc.Drain(ctx)
 }
 
 type labelRequest struct {
